@@ -1,0 +1,107 @@
+(* Benchmark harness.
+
+   Two sections:
+   1. The I/O experiment tables E1-E10 + E12 (EXPERIMENTS.md): the
+      paper's complexity claims measured in simulated block transfers.
+   2. E11 — a Bechamel wall-clock suite: build and query throughput of
+      every backend, confirming the simulated-I/O ordering carries over
+      to real time.
+
+   [dune exec bench/main.exe] runs everything at full scale; pass
+   [--quick] (or set SEGDB_BENCH_QUICK) for a smoke run. *)
+
+open Bechamel
+module W = Segdb_workload.Workload
+module Db = Segdb_core.Segdb
+module Rng = Segdb_util.Rng
+module Harness = Segdb_experiments.Harness
+module Registry = Segdb_experiments.Registry
+
+let quick =
+  Array.exists (fun a -> a = "--quick") Sys.argv || Sys.getenv_opt "SEGDB_BENCH_QUICK" <> None
+
+(* ---------------- E11: wall clock ---------------- *)
+
+let wall_clock_tests () =
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let queries = W.segment_queries (Rng.create 43) ~n:64 ~span ~selectivity:0.02 in
+  let qi = ref 0 in
+  let next_query () =
+    let q = queries.(!qi land 63) in
+    incr qi;
+    q
+  in
+  let query_test name backend =
+    let db = Db.create ~backend ~block:64 ~pool_blocks:64 segs in
+    Test.make ~name:("query/" ^ name)
+      (Staged.stage (fun () -> ignore (Db.count db (next_query ()))))
+  in
+  let build_test name backend =
+    Test.make ~name:("build/" ^ name)
+      (Staged.stage (fun () -> ignore (Db.create ~backend ~block:64 ~pool_blocks:64 segs)))
+  in
+  let insert_test name backend =
+    let db = Db.create ~backend ~block:64 ~pool_blocks:64 segs in
+    let fresh = W.uniform (Rng.create 44) ~n:(n / 4) ~span in
+    let i = ref 0 in
+    Test.make ~name:("insert/" ^ name)
+      (Staged.stage (fun () ->
+           (* fresh ids so the semi-dynamic path is exercised; wrap by
+              rebuilding the db when the pool of new segments runs out *)
+           if !i >= Array.length fresh then i := 0;
+           let s = fresh.(!i) in
+           incr i;
+           let s = Segdb_geom.Segment.with_id s (n + 1_000_000 + !qi) in
+           incr qi;
+           try Db.insert db s with Invalid_argument _ -> ()))
+  in
+  List.concat
+    [
+      List.map (fun (name, b) -> query_test name b) Db.all_backends;
+      [
+        build_test "naive" `Naive;
+        build_test "rtree" `Rtree;
+        build_test "solution1" `Solution1;
+        build_test "solution2" `Solution2;
+      ];
+      [ insert_test "solution1" `Solution1; insert_test "solution2" `Solution2 ];
+    ]
+
+let run_wall_clock () =
+  let tests = Test.make_grouped ~name:"segdb" (wall_clock_tests ()) in
+  let cfg =
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let table =
+    Segdb_util.Table.create ~title:"E11: wall-clock (Bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/op" ]
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (name, est) ->
+         let ns =
+           match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> nan
+         in
+         Segdb_util.Table.add_row table
+           [ name; Segdb_util.Table.cell_float ~decimals:0 ns ]);
+  Segdb_util.Table.print table
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let params = if quick then Harness.quick else Harness.default in
+  Printf.printf "segdb bench harness (%s mode)\n" (if quick then "quick" else "full");
+  Printf.printf "=== I/O experiment tables (E1-E10, E12-E16) ===\n";
+  Registry.run_ids ~params [];
+  Printf.printf "\n=== E11: wall-clock timing ===\n\n";
+  run_wall_clock ();
+  print_newline ()

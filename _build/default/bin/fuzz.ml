@@ -1,0 +1,144 @@
+(* Model-based stress tool.
+
+   Runs long random operation sequences (build / insert / delete /
+   query of every kind, boundary-snapped abscissas included) against
+   every backend simultaneously and compares each answer with a naive
+   in-memory model. Any divergence prints the seed and aborts, so a
+   failure is a one-line reproducer.
+
+   Usage: fuzz [--rounds N] [--ops N] [--seed N] [--size N]          *)
+
+open Cmdliner
+open Segdb_geom
+module W = Segdb_workload.Workload
+module Rng = Segdb_util.Rng
+module Vs = Segdb_core.Vs_index
+
+module Model = struct
+  let create () : (int, Segment.t) Hashtbl.t = Hashtbl.create 256
+  let insert t (s : Segment.t) = Hashtbl.replace t s.id s
+  let delete t (s : Segment.t) = Hashtbl.remove t s.id
+
+  let query t q =
+    Hashtbl.fold
+      (fun _ s acc -> if Vquery.matches q s then s.Segment.id :: acc else acc)
+      t []
+    |> List.sort compare
+end
+
+let backends : (string * (module Vs.S)) list =
+  [
+    ("naive", (module Segdb_core.Naive));
+    ("rtree", (module Segdb_core.Rtree_index));
+    ("solution1", (module Segdb_core.Solution1));
+    ("solution2", (module Segdb_core.Solution2));
+  ]
+
+type instance = Instance : string * (module Vs.S with type t = 'a) * 'a -> instance
+
+let run_round ~seed ~ops ~size round =
+  let seed = seed + (round * 7919) in
+  let rng = Rng.create seed in
+  let family = Rng.int rng 5 in
+  let pool_segs =
+    match family with
+    | 0 -> W.roads (Rng.split rng) ~n:(2 * size) ~span:200.0
+    | 1 -> W.grid_city (Rng.split rng) ~n:(2 * size) ~span:200 ~max_len:30
+    | 2 -> W.temporal (Rng.split rng) ~n:(2 * size) ~keys:20 ~horizon:400
+    | 3 -> W.fans (Rng.split rng) ~n:(2 * size) ~centers:5 ~span:200
+    | _ -> W.long_spans (Rng.split rng) ~n:(2 * size) ~span:200.0
+  in
+  let n0 = Array.length pool_segs / 2 in
+  let initial = Array.sub pool_segs 0 n0 in
+  let spare = ref (Array.to_list (Array.sub pool_segs n0 (Array.length pool_segs - n0))) in
+  let model = Model.create () in
+  Array.iter (Model.insert model) initial;
+  let instances =
+    List.map
+      (fun (name, (module M : Vs.S)) ->
+        let cfg = Vs.config ~pool_blocks:16 ~block:(8 lsl Rng.int rng 3) () in
+        Instance (name, (module M), M.build cfg initial))
+      backends
+  in
+  let live = ref (Array.to_list initial) in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (round %d, seed %d): %s\n" round seed msg;
+        exit 1)
+      fmt
+  in
+  let random_query () =
+    let x =
+      if Rng.bool rng || !live = [] then Rng.float rng 220.0 -. 10.0
+      else begin
+        (* boundary-snapped: an actual endpoint abscissa *)
+        let s = List.nth !live (Rng.int rng (List.length !live)) in
+        if Rng.bool rng then s.Segment.x1 else s.Segment.x2
+      end
+    in
+    match Rng.int rng 4 with
+    | 0 -> Vquery.line ~x
+    | 1 -> Vquery.ray_up ~x ~ylo:(Rng.float rng 200.0)
+    | 2 -> Vquery.ray_down ~x ~yhi:(Rng.float rng 200.0)
+    | _ ->
+        let y = Rng.float rng 200.0 in
+        Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0)
+  in
+  for op = 1 to ops do
+    match Rng.int rng 10 with
+    | 0 | 1 -> (
+        (* insert a fresh segment *)
+        match !spare with
+        | s :: rest ->
+            spare := rest;
+            live := s :: !live;
+            Model.insert model s;
+            List.iter (fun (Instance (_, (module M), t)) -> M.insert t s) instances
+        | [] -> ())
+    | 2 when !live <> [] ->
+        (* delete a random live segment *)
+        let s = List.nth !live (Rng.int rng (List.length !live)) in
+        live := List.filter (fun (c : Segment.t) -> c.id <> s.Segment.id) !live;
+        Model.delete model s;
+        List.iter
+          (fun (Instance (name, (module M), t)) ->
+            if not (M.delete t s) then fail "op %d: %s delete missed id %d" op name s.Segment.id)
+          instances
+    | _ ->
+        let q = random_query () in
+        let expected = Model.query model q in
+        List.iter
+          (fun (Instance (name, (module M), t)) ->
+            let got = Vs.query_ids (module M) t q in
+            if got <> expected then
+              fail "op %d: %s answered %d ids, expected %d on %s" op name (List.length got)
+                (List.length expected)
+                (Format.asprintf "%a" Vquery.pp q))
+          instances
+  done;
+  (* final audit: sizes and a full line sweep *)
+  List.iter
+    (fun (Instance (name, (module M), t)) ->
+      if M.size t <> Hashtbl.length model then
+        fail "final: %s size %d vs model %d" name (M.size t) (Hashtbl.length model))
+    instances
+
+let fuzz rounds ops seed size =
+  for round = 1 to rounds do
+    run_round ~seed ~ops ~size round;
+    if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
+  done;
+  Printf.printf "fuzz: %d rounds x %d ops, all backends agree with the model\n" rounds ops;
+  0
+
+let rounds_t = Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds.")
+let ops_t = Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc:"Operations per round.")
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.")
+let size_t = Arg.(value & opt int 120 & info [ "size" ] ~docv:"N" ~doc:"Initial segments.")
+
+let cmd =
+  let doc = "model-based stress test across all index backends" in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ rounds_t $ ops_t $ seed_t $ size_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,248 @@
+(* segdb command-line interface.
+
+   Subcommands:
+     generate  — emit a workload family as a segment file
+     stats     — build an index and print structural statistics
+     query     — run vertical line/ray/segment queries against a file
+     compare   — run a query workload across all backends (I/O table)
+
+   Examples:
+     segdb_cli generate --family roads -n 10000 -o roads.seg
+     segdb_cli query roads.seg --backend solution2 --x 420 --ylo 10 --yhi 90
+     segdb_cli compare roads.seg --queries 50 --selectivity 0.02            *)
+
+open Cmdliner
+open Segdb_geom
+module W = Segdb_workload.Workload
+module Db = Segdb_core.Segdb
+module Seg_file = Segdb_core.Seg_file
+module Rng = Segdb_util.Rng
+module Table = Segdb_util.Table
+module Io_stats = Segdb_io.Io_stats
+
+(* ---------------- shared arguments ---------------- *)
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let block_t =
+  Arg.(value & opt int 64 & info [ "block"; "B" ] ~docv:"B" ~doc:"Items per disk block.")
+
+let pool_t =
+  Arg.(
+    value & opt int 64
+    & info [ "pool" ] ~docv:"BLOCKS" ~doc:"Buffer pool capacity in blocks.")
+
+let backend_conv =
+  let parse s =
+    match Db.backend_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (expected one of: %s)" s
+               (String.concat ", " (List.map fst Db.all_backends))))
+  in
+  let print ppf b =
+    let name = List.find (fun (_, b') -> b' = b) Db.all_backends |> fst in
+    Format.pp_print_string ppf name
+  in
+  Arg.conv (parse, print)
+
+let backend_t =
+  Arg.(
+    value
+    & opt backend_conv `Solution2
+    & info [ "backend" ] ~docv:"NAME" ~doc:"Index backend (see $(b,--help) for the list).")
+
+let file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Segment file.")
+
+(* ---------------- generate ---------------- *)
+
+let generate family n span seed out =
+  let rng = Rng.create seed in
+  let segs =
+    match family with
+    | "roads" -> W.roads rng ~n ~span
+    | "uniform" -> W.uniform rng ~n ~span
+    | "grid-city" -> W.grid_city rng ~n ~span:(int_of_float span) ~max_len:(max 4 (int_of_float span / 20))
+    | "temporal" -> W.temporal rng ~n ~keys:(max 1 (n / 50)) ~horizon:(int_of_float span)
+    | "fans" -> W.fans rng ~n ~centers:(max 1 (n / 500)) ~span:(int_of_float span)
+    | "long-spans" -> W.long_spans rng ~n ~span
+    | other ->
+        Printf.eprintf "unknown family %S\n" other;
+        exit 2
+  in
+  (match out with
+  | Some path ->
+      Seg_file.save path segs;
+      Printf.printf "wrote %d segments to %s\n" (Array.length segs) path
+  | None -> Seg_file.to_channel stdout segs);
+  0
+
+let family_t =
+  Arg.(
+    value
+    & opt string "roads"
+    & info [ "family" ]
+        ~doc:"Workload family: roads, uniform, grid-city, temporal, fans, long-spans.")
+
+let n_t = Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Segment count.")
+
+let span_t =
+  Arg.(value & opt float 1000.0 & info [ "span" ] ~docv:"S" ~doc:"Coordinate extent.")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"emit a workload family as a segment file")
+    Term.(const generate $ family_t $ n_t $ span_t $ seed_t $ out_t)
+
+(* ---------------- stats ---------------- *)
+
+let stats file backend block pool =
+  let segs = Seg_file.load file in
+  let t0 = Unix.gettimeofday () in
+  let db = Db.create ~backend ~block ~pool_blocks:pool segs in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "backend:      %s\n" (Db.backend_name db);
+  Printf.printf "segments:     %d\n" (Db.size db);
+  Printf.printf "blocks:       %d  (n/B = %d)\n" (Db.block_count db)
+    (Array.length segs / block);
+  Printf.printf "build:        %.3fs, %s\n" dt (Format.asprintf "%a" Io_stats.pp (Db.io db));
+  0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"build an index and print structural statistics")
+    Term.(const stats $ file_t $ backend_t $ block_t $ pool_t)
+
+(* ---------------- query ---------------- *)
+
+let query file backend block pool x ylo yhi verbose =
+  let segs = Seg_file.load file in
+  let db = Db.create ~backend ~block ~pool_blocks:pool segs in
+  let q =
+    Vquery.segment ~x
+      ~ylo:(Option.value ylo ~default:neg_infinity)
+      ~yhi:(Option.value yhi ~default:infinity)
+  in
+  let io = Db.io db in
+  Io_stats.reset io;
+  let hits = Db.query db q in
+  Printf.printf "%s -> %d segments (%s)\n"
+    (Format.asprintf "%a" Vquery.pp q)
+    (List.length hits)
+    (Format.asprintf "%a" Io_stats.pp io);
+  if verbose then
+    List.iter (fun s -> Printf.printf "  %s\n" (Format.asprintf "%a" Segment.pp s)) hits;
+  0
+
+let x_t = Arg.(required & opt (some float) None & info [ "x" ] ~docv:"X" ~doc:"Query abscissa.")
+
+let ylo_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "ylo" ] ~docv:"Y" ~doc:"Lower query bound (omit for a downward ray/line).")
+
+let yhi_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "yhi" ] ~docv:"Y" ~doc:"Upper query bound (omit for an upward ray/line).")
+
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print matched segments.")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"run one vertical line/ray/segment query")
+    Term.(const query $ file_t $ backend_t $ block_t $ pool_t $ x_t $ ylo_t $ yhi_t $ verbose_t)
+
+(* ---------------- compare ---------------- *)
+
+let compare_backends file block pool nqueries selectivity seed =
+  let segs = Seg_file.load file in
+  let span =
+    Array.fold_left (fun acc (s : Segment.t) -> Float.max acc (Segment.max_x s)) 1.0 segs
+  in
+  let queries = W.segment_queries (Rng.create seed) ~n:nqueries ~span ~selectivity in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s: %d queries, selectivity %.3f" file nqueries selectivity)
+      ~columns:[ "backend"; "blocks"; "mean io"; "max io"; "mean t" ]
+  in
+  List.iter
+    (fun (name, backend) ->
+      let db = Db.create ~backend ~block ~pool_blocks:pool segs in
+      let io = Db.io db in
+      let st = Segdb_util.Stats.create () and out = Segdb_util.Stats.create () in
+      Array.iter
+        (fun q ->
+          let before = Io_stats.snapshot io in
+          let k = Db.count db q in
+          let d = Io_stats.diff before (Io_stats.snapshot io) in
+          Segdb_util.Stats.add st (float_of_int (Io_stats.snapshot_total d));
+          Segdb_util.Stats.add out (float_of_int k))
+        queries;
+      Table.add_row table
+        [
+          name;
+          Table.cell_int (Db.block_count db);
+          Table.cell_float ~decimals:1 (Segdb_util.Stats.mean st);
+          Table.cell_float ~decimals:0 (Segdb_util.Stats.max st);
+          Table.cell_float ~decimals:1 (Segdb_util.Stats.mean out);
+        ])
+    Db.all_backends;
+  Table.print table;
+  0
+
+let nqueries_t =
+  Arg.(value & opt int 50 & info [ "queries" ] ~docv:"N" ~doc:"Number of random queries.")
+
+let selectivity_t =
+  Arg.(
+    value & opt float 0.02
+    & info [ "selectivity" ] ~docv:"F" ~doc:"Query height as a fraction of the span.")
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"run a query workload across all backends")
+    Term.(const compare_backends $ file_t $ block_t $ pool_t $ nqueries_t $ selectivity_t $ seed_t)
+
+(* ---------------- verify ---------------- *)
+
+let verify file =
+  let segs = Seg_file.load file in
+  let t0 = Unix.gettimeofday () in
+  match Sweep.find_crossing segs with
+  | None ->
+      Printf.printf "%s: %d segments, NCT verified (%.3fs)\n" file (Array.length segs)
+        (Unix.gettimeofday () -. t0);
+      0
+  | Some (a, b) ->
+      Printf.printf "%s: CROSSING between %s and %s\n" file
+        (Format.asprintf "%a" Segment.pp a)
+        (Format.asprintf "%a" Segment.pp b);
+      1
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "check that a segment file satisfies the NCT property (plane sweep, O(n log n); \
+          exact on integer coordinates)")
+    Term.(const verify $ file_t)
+
+(* ---------------- main ---------------- *)
+
+let main_cmd =
+  let doc = "segment database with vertical-segment-query indexes (EDBT'98 reproduction)" in
+  Cmd.group (Cmd.info "segdb_cli" ~doc) [ generate_cmd; stats_cmd; query_cmd; compare_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/constraint_ranges.ml: Array List Printf Segdb_core Segdb_geom Segdb_io Segdb_util Segment Vquery

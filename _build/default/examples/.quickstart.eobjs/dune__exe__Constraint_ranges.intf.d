@@ -1,0 +1,1 @@
+examples/constraint_ranges.mli:

@@ -1,0 +1,1 @@
+examples/gis_map_overlay.ml: List Printf Segdb_core Segdb_geom Segdb_io Segdb_util Segdb_workload Vquery

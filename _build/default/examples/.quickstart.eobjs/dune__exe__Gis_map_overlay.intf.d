@@ -1,0 +1,1 @@
+examples/gis_map_overlay.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Segdb_core Segdb_geom Segdb_io Segment Vquery

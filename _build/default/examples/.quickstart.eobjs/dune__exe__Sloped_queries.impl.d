@@ -1,0 +1,1 @@
+examples/sloped_queries.ml: Array List Printf Segdb_core Segdb_geom Segdb_util Segdb_workload Segment Transform

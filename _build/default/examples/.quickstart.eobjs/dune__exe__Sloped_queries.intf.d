@@ -1,0 +1,1 @@
+examples/sloped_queries.mli:

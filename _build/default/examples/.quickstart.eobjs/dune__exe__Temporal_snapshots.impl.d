@@ -1,0 +1,1 @@
+examples/temporal_snapshots.ml: List Printf Segdb_core Segdb_geom Segdb_io Segdb_util Segdb_workload Segment Vquery

@@ -1,0 +1,59 @@
+(* Constraint database scenario.
+
+   The paper lists constraint databases [11] among the applications of
+   segment databases. The reduction: a linear repeating or bounded
+   constraint over (t, x) — say "resource r is feasible while
+   x = a + b*t, for t in [t1, t2]" — is a plane segment; asking "which
+   constraints admit a solution at time t0 with x in [lo, hi]" is a
+   vertical segment query.
+
+   This example models a fleet of linearly-drifting reservations and
+   answers feasibility queries over them.
+
+   Run with: dune exec examples/constraint_ranges.exe *)
+
+open Segdb_geom
+module Db = Segdb_core.Segdb
+module Rng = Segdb_util.Rng
+
+let () =
+  let rng = Rng.create 17 in
+  let n = 30_000 in
+  let horizon = 10_000.0 in
+  (* non-crossing by construction: co-sorted intercepts and drifts *)
+  let intercepts = Array.init n (fun _ -> Rng.float rng 5_000.0) in
+  let drifts = Array.init n (fun _ -> (Rng.float rng 0.4) -. 0.2) in
+  Array.sort compare intercepts;
+  Array.sort compare drifts;
+  let constraints =
+    Array.init n (fun i ->
+        let t1 = Rng.float rng (horizon /. 2.0) in
+        let t2 = t1 +. 200.0 +. Rng.float rng (horizon /. 2.0) in
+        let x t = intercepts.(i) +. (drifts.(i) *. t) in
+        Segment.make ~id:i (t1, x t1) (t2, x t2))
+  in
+  let db = Db.create ~backend:`Solution2 constraints in
+  Printf.printf "constraint store: %d linear validity constraints over t in [0, %.0f]\n"
+    (Db.size db) horizon;
+
+  (* feasibility probes *)
+  List.iter
+    (fun (t0, lo, hi) ->
+      let io = Db.io db in
+      Segdb_io.Io_stats.reset io;
+      let feasible = Db.query db (Vquery.segment ~x:t0 ~ylo:lo ~yhi:hi) in
+      Printf.printf
+        "at t=%.0f, x in [%.0f, %.0f]: %d feasible constraints (%d I/Os)\n" t0 lo hi
+        (List.length feasible)
+        (Segdb_io.Io_stats.total_io io))
+    [ (1_000.0, 1_000.0, 1_100.0); (5_000.0, 2_000.0, 2_500.0); (9_000.0, 0.0, 5_000.0) ];
+
+  (* which constraints are active at all at time t (any x)? *)
+  let t0 = 7_500.0 in
+  Printf.printf "constraints whose validity interval contains t=%.0f: %d\n" t0
+    (Db.count db (Vquery.line ~x:t0));
+
+  (* sanity: the naive scan agrees *)
+  let naive = Db.create ~backend:`Naive constraints in
+  let q = Vquery.segment ~x:5_000.0 ~ylo:2_000.0 ~yhi:2_500.0 in
+  Printf.printf "exactness check: %b\n" (Db.query_ids naive q = Db.query_ids db q)

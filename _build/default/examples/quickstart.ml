@@ -1,0 +1,44 @@
+(* Quickstart: build a segment database, run the three query kinds,
+   look at the I/O counters.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Segdb_geom
+module Db = Segdb_core.Segdb
+module Io_stats = Segdb_io.Io_stats
+
+let () =
+  (* A tiny map: three roads and a power line. Touching is fine —
+     segments 0 and 1 share an endpoint — but proper crossings are not
+     (NCT: non-crossing, possibly touching). *)
+  let segments =
+    [|
+      Segment.make ~id:0 (0.0, 0.0) (4.0, 3.0);
+      Segment.make ~id:1 (4.0, 3.0) (9.0, 1.0);
+      Segment.make ~id:2 (1.0, 5.0) (8.0, 6.0);
+      Segment.make ~id:3 (6.0, -2.0) (6.0, 0.5);
+    |]
+  in
+  let db = Db.create ~backend:`Solution2 segments in
+
+  (* 1. A vertical segment query: what crosses the gate at x = 6,
+     0 <= y <= 5.5? *)
+  let gate = Vquery.segment ~x:6.0 ~ylo:0.0 ~yhi:5.5 in
+  Format.printf "%a:@." Vquery.pp gate;
+  List.iter (fun s -> Format.printf "  %a@." Segment.pp s) (Db.query db gate);
+
+  (* 2. A stabbing query (vertical line): everything at x = 6. *)
+  let line = Vquery.line ~x:6.0 in
+  Format.printf "%a: %d segments@." Vquery.pp line (Db.count db line);
+
+  (* 3. An upward ray: everything above y = 2 at x = 6. *)
+  let ray = Vquery.ray_up ~x:6.0 ~ylo:2.0 in
+  Format.printf "%a: %d segments@." Vquery.pp ray (Db.count db ray);
+
+  (* Insertion keeps answers exact. *)
+  Db.insert db (Segment.make ~id:4 (5.0, 4.0) (7.0, 4.5));
+  Format.printf "after insert, %a: %d segments@." Vquery.pp gate (Db.count db gate);
+
+  (* The simulated disk keeps score. *)
+  Format.printf "I/O so far: %a; index occupies %d blocks@." Io_stats.pp (Db.io db)
+    (Db.block_count db)

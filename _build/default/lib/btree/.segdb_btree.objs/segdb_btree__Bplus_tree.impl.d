@@ -1,0 +1,1 @@
+lib/btree/bplus_tree.ml: Array Block_store List Segdb_io

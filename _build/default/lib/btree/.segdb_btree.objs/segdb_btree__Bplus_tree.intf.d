@@ -1,0 +1,1 @@
+lib/btree/bplus_tree.mli: Block_store Io_stats Segdb_io

@@ -1,0 +1,1 @@
+lib/btree/wb_btree.ml: Array Block_store List Segdb_io

@@ -1,0 +1,1 @@
+lib/btree/wb_btree.mli: Block_store Io_stats Segdb_io

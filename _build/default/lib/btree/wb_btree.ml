@@ -1,0 +1,285 @@
+open Segdb_io
+
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) (V : sig
+  type t
+end) =
+struct
+  type key = K.t
+  type value = V.t
+
+  type node =
+    | Leaf of (key * value) array (* sorted *)
+    | Inner of {
+        seps : key array; (* lower bounds of kids.(i+1) *)
+        kids : Block_store.addr array;
+        weights : int array; (* live items below each child *)
+      }
+
+  module Store = Block_store.Make (struct
+    type t = node
+  end)
+
+  type t = {
+    store : Store.t;
+    branching : int;
+    leaf_weight : int;
+    mutable root : Block_store.addr;
+    mutable height : int; (* leaves are at height 0 *)
+    mutable size : int;
+    mutable dead : int; (* lazily deleted items *)
+  }
+
+  let create ?(branching = 8) ?(leaf_weight = 64) ~pool ~stats () =
+    if branching < 4 then invalid_arg "Wb_btree.create: branching must be >= 4";
+    if leaf_weight < 2 then invalid_arg "Wb_btree.create: leaf_weight must be >= 2";
+    let store = Store.create ~name:"wbb" ~pool ~stats () in
+    let root = Store.alloc store (Leaf [||]) in
+    { store; branching; leaf_weight; root; height = 0; size = 0; dead = 0 }
+
+  let size t = t.size
+  let height t = t.height + 1
+  let block_count t = Store.block_count t.store
+
+  (* max weight of a node at height h *)
+  let max_weight t h =
+    let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+    pow t.branching h * t.leaf_weight
+
+  let child_index seps key =
+    let lo = ref 0 and hi = ref (Array.length seps) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare seps.(mid) key <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let lower_bound entries key =
+    let lo = ref 0 and hi = ref (Array.length entries) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare (fst entries.(mid)) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let rec find_rec t addr key =
+    match Store.read t.store addr with
+    | Leaf entries ->
+        let i = lower_bound entries key in
+        if i < Array.length entries && K.compare (fst entries.(i)) key = 0 then
+          Some (snd entries.(i))
+        else None
+    | Inner { seps; kids; _ } -> find_rec t kids.(child_index seps key) key
+
+  let find t key = find_rec t t.root key
+
+  let rec iter_rec t addr f =
+    match Store.read t.store addr with
+    | Leaf entries -> Array.iter (fun (k, v) -> f k v) entries
+    | Inner { kids; _ } -> Array.iter (fun kid -> iter_rec t kid f) kids
+
+  let iter t f = iter_rec t t.root f
+
+  let array_insert a i x =
+    let n = Array.length a in
+    let b = Array.make (n + 1) x in
+    Array.blit a 0 b 0 i;
+    Array.blit a i b (i + 1) (n - i);
+    b
+
+  (* Split a node into two halves by weight; returns
+     (left_addr, left_weight, separator, right_addr, right_weight).
+     The input block is reused as the left half. *)
+  let split_node t addr =
+    match Store.read t.store addr with
+    | Leaf entries ->
+        let n = Array.length entries in
+        let mid = n / 2 in
+        let right = Store.alloc t.store (Leaf (Array.sub entries mid (n - mid))) in
+        Store.write t.store addr (Leaf (Array.sub entries 0 mid));
+        (addr, mid, fst entries.(mid), right, n - mid)
+    | Inner { seps; kids; weights } ->
+        (* cut children at the weight midpoint *)
+        let total = Array.fold_left ( + ) 0 weights in
+        let cut = ref 1 and acc = ref weights.(0) in
+        while !cut < Array.length kids - 1 && !acc * 2 < total do
+          acc := !acc + weights.(!cut);
+          incr cut
+        done;
+        let cut = !cut in
+        let right =
+          Store.alloc t.store
+            (Inner
+               {
+                 seps = Array.sub seps cut (Array.length seps - cut);
+                 kids = Array.sub kids cut (Array.length kids - cut);
+                 weights = Array.sub weights cut (Array.length weights - cut);
+               })
+        in
+        let sep = seps.(cut - 1) in
+        Store.write t.store addr
+          (Inner
+             {
+               seps = Array.sub seps 0 (cut - 1);
+               kids = Array.sub kids 0 cut;
+               weights = Array.sub weights 0 cut;
+             });
+        let lw = Array.fold_left ( + ) 0 (Array.sub weights 0 cut) in
+        (addr, lw, sep, right, total - lw)
+
+  (* Insert below [addr] (a node at height [h]); returns [`Ok grew]
+     where [grew] says whether an item was added (vs replaced), or
+     [`Split (l, lw, sep, r, rw, grew)] when the node had to split. *)
+  let rec insert_rec t addr h key value =
+    match Store.read t.store addr with
+    | Leaf entries ->
+        let i = lower_bound entries key in
+        if i < Array.length entries && K.compare (fst entries.(i)) key = 0 then begin
+          let entries = Array.copy entries in
+          entries.(i) <- (key, value);
+          Store.write t.store addr (Leaf entries);
+          `Ok false
+        end
+        else begin
+          let entries = array_insert entries i (key, value) in
+          Store.write t.store addr (Leaf entries);
+          if Array.length entries > max_weight t 0 then
+            let l, lw, sep, r, rw = split_node t addr in
+            `Split (l, lw, sep, r, rw, true)
+          else `Ok true
+        end
+    | Inner { seps; kids; weights } -> (
+        let i = child_index seps key in
+        match insert_rec t kids.(i) (h - 1) key value with
+        | `Ok grew ->
+            if grew then begin
+              let weights = Array.copy weights in
+              weights.(i) <- weights.(i) + 1;
+              Store.write t.store addr (Inner { seps; kids; weights });
+              let total = Array.fold_left ( + ) 0 weights in
+              if total > max_weight t h then
+                let l, lw, sep, r, rw = split_node t addr in
+                `Split (l, lw, sep, r, rw, true)
+              else `Ok true
+            end
+            else `Ok false
+        | `Split (l, lw, sep, r, rw, grew) ->
+            let seps = array_insert seps i sep in
+            let kids = array_insert kids (i + 1) r in
+            let weights = array_insert weights (i + 1) rw in
+            kids.(i) <- l;
+            weights.(i) <- lw;
+            Store.write t.store addr (Inner { seps; kids; weights });
+            let total = Array.fold_left ( + ) 0 weights in
+            if total > max_weight t h then
+              let l', lw', sep', r', rw' = split_node t addr in
+              `Split (l', lw', sep', r', rw', grew)
+            else `Ok grew)
+
+  let insert t key value =
+    match insert_rec t t.root t.height key value with
+    | `Ok grew -> if grew then t.size <- t.size + 1
+    | `Split (l, lw, sep, r, rw, grew) ->
+        let root =
+          Store.alloc t.store
+            (Inner { seps = [| sep |]; kids = [| l; r |]; weights = [| lw; rw |] })
+        in
+        t.root <- root;
+        t.height <- t.height + 1;
+        if grew then t.size <- t.size + 1
+
+  (* lazy deletion + halving rebuild *)
+  let rec free_rec t addr =
+    (match Store.read t.store addr with
+    | Leaf _ -> ()
+    | Inner { kids; _ } -> Array.iter (free_rec t) kids);
+    Store.free t.store addr
+
+  let rebuild t =
+    let acc = ref [] in
+    iter t (fun k v -> acc := (k, v) :: !acc);
+    free_rec t t.root;
+    t.root <- Store.alloc t.store (Leaf [||]);
+    t.height <- 0;
+    t.size <- 0;
+    t.dead <- 0;
+    List.iter (fun (k, v) -> insert t k v) (List.rev !acc)
+
+  let rec delete_rec t addr key =
+    match Store.read t.store addr with
+    | Leaf entries ->
+        let i = lower_bound entries key in
+        if i < Array.length entries && K.compare (fst entries.(i)) key = 0 then begin
+          let out = Array.make (Array.length entries - 1) entries.(0) in
+          Array.blit entries 0 out 0 i;
+          Array.blit entries (i + 1) out i (Array.length entries - 1 - i);
+          Store.write t.store addr (Leaf out);
+          true
+        end
+        else false
+    | Inner { seps; kids; weights } ->
+        let i = child_index seps key in
+        let present = delete_rec t kids.(i) key in
+        if present then begin
+          let weights = Array.copy weights in
+          weights.(i) <- weights.(i) - 1;
+          Store.write t.store addr (Inner { seps; kids; weights })
+        end;
+        present
+
+  let delete t key =
+    let present = delete_rec t t.root key in
+    if present then begin
+      t.size <- t.size - 1;
+      t.dead <- t.dead + 1;
+      if t.dead > t.size + t.leaf_weight then rebuild t
+    end;
+    present
+
+  let check_invariants t =
+    let ok = ref true in
+    let fail () = ok := false in
+    let rec go addr h ~lo ~hi ~is_root =
+      match Store.read t.store addr with
+      | Leaf entries ->
+          if h <> 0 then fail ();
+          for i = 1 to Array.length entries - 1 do
+            if K.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then fail ()
+          done;
+          Array.iter
+            (fun (k, _) ->
+              (match lo with Some b -> if K.compare k b < 0 then fail () | None -> ());
+              match hi with Some b -> if K.compare k b >= 0 then fail () | None -> ())
+            entries;
+          let w = Array.length entries in
+          if w > max_weight t 0 then fail ();
+          (* lazy deletions deplete weights until the halving rebuild *)
+          if (not is_root) && t.dead = 0 && w * 4 < max_weight t 0 then fail ();
+          w
+      | Inner { seps; kids; weights } ->
+          if h = 0 then fail ();
+          if Array.length kids <> Array.length seps + 1 then fail ();
+          if Array.length kids <> Array.length weights then fail ();
+          for i = 1 to Array.length seps - 1 do
+            if K.compare seps.(i - 1) seps.(i) >= 0 then fail ()
+          done;
+          let total = ref 0 in
+          Array.iteri
+            (fun i kid ->
+              let klo = if i = 0 then lo else Some seps.(i - 1) in
+              let khi = if i = Array.length seps then hi else Some seps.(i) in
+              let w = go kid (h - 1) ~lo:klo ~hi:khi ~is_root:false in
+              if w <> weights.(i) then fail ();
+              total := !total + w)
+            kids;
+          if !total > max_weight t h then fail ();
+          if (not is_root) && t.dead = 0 && !total * 4 < max_weight t h then fail ();
+          !total
+    in
+    let w = go t.root t.height ~lo:None ~hi:None ~is_root:true in
+    if w <> t.size then fail ();
+    !ok
+end

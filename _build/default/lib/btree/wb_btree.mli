@@ -1,0 +1,59 @@
+open Segdb_io
+
+(** External weight-balanced B-tree (Arge–Vitter, the paper's reference
+    [3] and the first level prescribed for semi-dynamic Solution 2).
+
+    Invariant: all leaves at one depth; a node at height [h] (leaves at
+    height 0) carries weight (items in its subtree) at most
+    [branching^h * leaf_weight] and, unless it is the root, at least a
+    quarter of that. An insertion splits every overweight node on its
+    path into two near-equal halves, so between two splits of the same
+    node Ω(weight) insertions must hit it — the amortization the
+    paper's Section 4 leans on when secondary structures hang off
+    first-level nodes ("rebuilding costs O(weight) but happens every
+    Ω(weight) updates").
+
+    The index solutions use a quantile-rebuild discipline with the same
+    invariant (DESIGN.md); this module is the cited structure itself,
+    validated standalone: model-equivalence and weight-invariant
+    property tests in [test/t_btree.ml]. Deletions are lazy (weights
+    keep counting live items; a half-empty tree is rebuilt). *)
+
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) (V : sig
+  type t
+end) : sig
+  type t
+  type key = K.t
+  type value = V.t
+
+  val create :
+    ?branching:int ->
+    ?leaf_weight:int ->
+    pool:Block_store.Pool.t ->
+    stats:Io_stats.t ->
+    unit ->
+    t
+  (** [branching] (default 8) >= 4; [leaf_weight] (default 64) >= 2. *)
+
+  val size : t -> int
+  val height : t -> int
+  val block_count : t -> int
+
+  val find : t -> key -> value option
+  val insert : t -> key -> value -> unit
+  (** Replaces on duplicate key. *)
+
+  val delete : t -> key -> bool
+  (** Lazy: the key is removed from its leaf; the tree is rebuilt when
+      half the inserted items are gone. *)
+
+  val iter : t -> (key -> value -> unit) -> unit
+  (** In key order. *)
+
+  val check_invariants : t -> bool
+  (** Key order, uniform leaf depth, and the weight bounds above. *)
+end

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Array Block_store List Segdb_geom Segdb_io Segment Vquery Vs_index

@@ -1,0 +1,1 @@
+lib/core/rtree_index.ml: Segdb_rtree Vs_index

@@ -1,0 +1,1 @@
+lib/core/rtree_index.mli: Vs_index

@@ -1,0 +1,1 @@
+lib/core/seg_file.ml: Array Fun List Printf Segdb_geom Segment String

@@ -1,0 +1,1 @@
+lib/core/seg_file.mli: Segdb_geom Segment

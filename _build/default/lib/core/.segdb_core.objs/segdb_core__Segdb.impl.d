@@ -1,0 +1,1 @@
+lib/core/segdb.ml: Array Hashtbl List Naive Rtree_index Segdb_geom Segment Solution1 Solution2 String Transform Vs_index

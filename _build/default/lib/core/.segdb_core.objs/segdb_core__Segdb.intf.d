@@ -1,0 +1,1 @@
+lib/core/segdb.mli: Io_stats Segdb_geom Segdb_io Segment Vquery

@@ -1,0 +1,1 @@
+lib/core/solution1.ml: Array Block_store Hashtbl List Lseg Segdb_geom Segdb_io Segdb_itree Segdb_pst Segment Vquery Vs_index

@@ -1,0 +1,1 @@
+lib/core/solution1.mli: Vs_index

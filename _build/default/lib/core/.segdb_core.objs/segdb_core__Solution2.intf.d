@@ -1,0 +1,1 @@
+lib/core/solution2.mli: Vs_index

@@ -1,0 +1,1 @@
+lib/core/vs_index.ml: Block_store Io_stats List Segdb_geom Segdb_io Segment Vquery

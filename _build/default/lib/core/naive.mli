@@ -1,0 +1,4 @@
+(** Baseline: segments packed [B] per block, every query scans all
+    blocks — the [O(n + t)]-per-query floor every index must beat. *)
+
+include Vs_index.S

@@ -1,0 +1,3 @@
+(** The R-tree baseline behind the common index interface. *)
+
+include Vs_index.S

@@ -1,0 +1,42 @@
+open Segdb_geom
+
+let to_channel oc segs =
+  output_string oc "# segdb segment set: id x1 y1 x2 y2\n";
+  Array.iter
+    (fun (s : Segment.t) ->
+      Printf.fprintf oc "%d %.17g %.17g %.17g %.17g\n" s.id s.x1 s.y1 s.x2 s.y2)
+    segs
+
+let save path segs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc segs)
+
+let of_channel ic =
+  let acc = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = input_line ic in
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+         | [ id; x1; y1; x2; y2 ] -> (
+             match
+               ( int_of_string_opt id,
+                 float_of_string_opt x1,
+                 float_of_string_opt y1,
+                 float_of_string_opt x2,
+                 float_of_string_opt y2 )
+             with
+             | Some id, Some x1, Some y1, Some x2, Some y2 ->
+                 acc := Segment.make ~id (x1, y1) (x2, y2) :: !acc
+             | _ -> failwith (Printf.sprintf "line %d: malformed numbers" !lineno))
+         | _ -> failwith (Printf.sprintf "line %d: expected 5 fields" !lineno)
+     done
+   with End_of_file -> ());
+  Array.of_list (List.rev !acc)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

@@ -1,0 +1,111 @@
+open Segdb_geom
+
+type backend = [ `Naive | `Rtree | `Solution1 | `Solution2 | `Solution2_nofc ]
+
+type pack = Pack : (module Vs_index.S with type t = 'a) * 'a -> pack
+
+type t = { cfg : Vs_index.config; pack : pack }
+
+let build_pack (cfg : Vs_index.config) backend segs =
+  match backend with
+  | `Naive -> Pack ((module Naive), Naive.build cfg segs)
+  | `Rtree -> Pack ((module Rtree_index), Rtree_index.build cfg segs)
+  | `Solution1 -> Pack ((module Solution1), Solution1.build cfg segs)
+  | `Solution2 | `Solution2_nofc -> Pack ((module Solution2), Solution2.build cfg segs)
+
+let create ?(backend = `Solution2) ?(block = 64) ?(pool_blocks = 64) segs =
+  let cascade = backend <> `Solution2_nofc in
+  let cfg = Vs_index.config ~pool_blocks ~block ~cascade () in
+  { cfg; pack = build_pack cfg backend segs }
+
+let of_segments ?backend ?block ?pool_blocks polylines =
+  let acc = ref [] in
+  let id = ref 0 in
+  List.iter
+    (fun points ->
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+            acc := Segment.make ~id:!id a b :: !acc;
+            incr id;
+            go rest
+        | _ -> ()
+      in
+      go points)
+    polylines;
+  create ?backend ?block ?pool_blocks (Array.of_list (List.rev !acc))
+
+let insert t s =
+  let (Pack ((module M), v)) = t.pack in
+  M.insert v s
+
+let delete t s =
+  let (Pack ((module M), v)) = t.pack in
+  M.delete v s
+
+let query_iter t q ~f =
+  let (Pack ((module M), v)) = t.pack in
+  M.query v q ~f
+
+let query t q =
+  let acc = ref [] in
+  query_iter t q ~f:(fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let query_ids t q =
+  let (Pack ((module M), v)) = t.pack in
+  Vs_index.query_ids (module M) v q
+
+let count t q =
+  let n = ref 0 in
+  query_iter t q ~f:(fun _ -> incr n);
+  !n
+
+let size t =
+  let (Pack ((module M), v)) = t.pack in
+  M.size v
+
+let block_count t =
+  let (Pack ((module M), v)) = t.pack in
+  M.block_count v
+
+let io t = t.cfg.stats
+
+let backend_name t =
+  let (Pack ((module M), _)) = t.pack in
+  if M.name = "solution2" && not t.cfg.cascade then "solution2-nofc" else M.name
+
+let all_backends =
+  [
+    ("naive", `Naive);
+    ("rtree", `Rtree);
+    ("solution1", `Solution1);
+    ("solution2", `Solution2);
+    ("solution2-nofc", `Solution2_nofc);
+  ]
+
+let backend_of_string s = List.assoc_opt (String.lowercase_ascii s) all_backends
+
+module Sloped = struct
+  type nonrec t = {
+    rot : Transform.t;
+    db : t;
+    originals : (int, Segment.t) Hashtbl.t;
+  }
+
+  let create ?backend ?block ?pool_blocks ~slope segs =
+    let rot = Transform.to_vertical ~slope in
+    let originals = Hashtbl.create (Array.length segs) in
+    Array.iter (fun (s : Segment.t) -> Hashtbl.replace originals s.id s) segs;
+    let rotated = Array.map (Transform.segment rot) segs in
+    { rot; db = create ?backend ?block ?pool_blocks rotated; originals }
+
+  let vq t ~p1 ~p2 = Transform.vquery_of_segment t.rot p1 p2
+
+  let query t ~p1 ~p2 =
+    query (t.db) (vq t ~p1 ~p2)
+    |> List.map (fun (s : Segment.t) -> Hashtbl.find t.originals s.id)
+
+  let count t ~p1 ~p2 = count t.db (vq t ~p1 ~p2)
+
+  let db t = t.db
+end

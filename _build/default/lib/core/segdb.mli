@@ -1,0 +1,93 @@
+open Segdb_io
+open Segdb_geom
+
+(** The segment database: the user-facing facade.
+
+    A [Segdb.t] stores a set of NCT plane segments under one of the
+    index backends and answers generalized vertical-segment queries
+    ({!Vquery.t}). Fixed-slope (non-vertical) query families are
+    supported by rotating the database with {!Transform} before
+    indexing — see [examples/sloped_queries.ml].
+
+    {[
+      let db =
+        Segdb.create ~backend:`Solution2
+          [| Segment.make ~id:0 (0., 0.) (4., 2.); ... |]
+      in
+      let hits = Segdb.query db (Vquery.segment ~x:1.0 ~ylo:0.0 ~yhi:5.0) in
+      ...
+    ]} *)
+
+type backend =
+  [ `Naive  (** block scan; the baseline floor *)
+  | `Rtree  (** STR-packed R-tree; the practical comparator *)
+  | `Solution1  (** the paper's linear-space two-level structure *)
+  | `Solution2  (** the paper's improved structure, with cascading *)
+  | `Solution2_nofc  (** Solution 2 with fractional cascading disabled *)
+  ]
+
+type t
+
+val create :
+  ?backend:backend ->
+  ?block:int ->
+  ?pool_blocks:int ->
+  Segment.t array ->
+  t
+(** Builds an index over the segments (default backend [`Solution2],
+    block size 64, buffer pool 64 blocks). Ids must be distinct; use
+    {!of_segments} to assign them. *)
+
+val of_segments : ?backend:backend -> ?block:int -> ?pool_blocks:int -> (float * float) list list -> t
+(** Convenience: each element is a polyline (list of points) whose
+    consecutive point pairs become segments; ids are assigned
+    sequentially. The caller is responsible for the NCT property. *)
+
+val insert : t -> Segment.t -> unit
+(** Semi-dynamic insertion; the new segment must not cross stored ones
+    (NCT) for complexity guarantees, though answers remain exact for
+    touching-only violations. *)
+
+val delete : t -> Segment.t -> bool
+(** Removes the segment (matched by id and geometry); amortized
+    logarithmic via local removal plus periodic rebuilds. *)
+
+val query : t -> Vquery.t -> Segment.t list
+val query_iter : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+val query_ids : t -> Vquery.t -> int list
+val count : t -> Vquery.t -> int
+
+val size : t -> int
+val block_count : t -> int
+
+val io : t -> Io_stats.t
+(** The index's I/O counter (shared by all its sub-structures). *)
+
+val backend_name : t -> string
+
+val backend_of_string : string -> backend option
+val all_backends : (string * backend) list
+
+(** {1 Fixed-slope query families}
+
+    The paper's footnote: non-vertical query directions reduce to the
+    vertical case by rotating the coordinate axes. [Sloped] owns that
+    reduction: it rotates the database once at build time and rotates
+    each query segment on the fly. *)
+
+module Sloped : sig
+  type db := t
+  type t
+
+  val create :
+    ?backend:backend -> ?block:int -> ?pool_blocks:int -> slope:float -> Segment.t array -> t
+  (** Indexes the segments for query segments of slope [slope]. *)
+
+  val query : t -> p1:float * float -> p2:float * float -> Segment.t list
+  (** [p1]-[p2] must lie on a line of slope [slope] (up to float noise);
+      answers are the original (unrotated) segments. *)
+
+  val count : t -> p1:float * float -> p2:float * float -> int
+  val db : t -> db
+  (** The underlying rotated database (for stats). *)
+end

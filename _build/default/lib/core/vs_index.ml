@@ -1,0 +1,35 @@
+open Segdb_io
+open Segdb_geom
+
+type config = {
+  pool : Block_store.Pool.t;
+  stats : Io_stats.t;
+  block : int;
+  cascade : bool;
+}
+
+let config ?(pool_blocks = 64) ?(block = 64) ?(cascade = true) () =
+  if block < 4 then invalid_arg "Vs_index.config: block must be >= 4";
+  {
+    pool = Block_store.Pool.create ~capacity:pool_blocks;
+    stats = Io_stats.create ();
+    block;
+    cascade;
+  }
+
+module type S = sig
+  type t
+
+  val name : string
+  val build : config -> Segment.t array -> t
+  val insert : t -> Segment.t -> unit
+  val delete : t -> Segment.t -> bool
+  val query : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+  val size : t -> int
+  val block_count : t -> int
+end
+
+let query_ids (type a) (module M : S with type t = a) (t : a) q =
+  let acc = ref [] in
+  M.query t q ~f:(fun s -> acc := s.Segment.id :: !acc);
+  List.sort compare !acc

@@ -1,0 +1,48 @@
+open Segdb_io
+open Segdb_geom
+
+(** Common interface of the vertical-segment-query indexes.
+
+    Every index is built against one {!config}: a shared buffer pool, a
+    shared I/O counter, and the block size [B]. The experiments measure
+    an operation by snapshotting [stats] around it. *)
+
+type config = {
+  pool : Block_store.Pool.t;
+  stats : Io_stats.t;
+  block : int; (** the paper's [B]: items per block / node capacity *)
+  cascade : bool; (** Solution 2: fractional cascading in [G] *)
+}
+
+val config :
+  ?pool_blocks:int -> ?block:int -> ?cascade:bool -> unit -> config
+(** Defaults: a 64-block pool, [block = 64], cascading on. The pool is
+    deliberately small relative to index sizes so that I/O counts
+    reflect structure traversals rather than cache hits. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val build : config -> Segment.t array -> t
+  (** Bulk construction. Segment ids must be distinct; answers are
+      reported in terms of the original segments. *)
+
+  val insert : t -> Segment.t -> unit
+
+  val delete : t -> Segment.t -> bool
+  (** Removes the segment (matched by id and geometry); returns whether
+      it was present. Amortized logarithmic: the structures use local
+      removal plus periodic rebuilds. *)
+
+  val query : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+  (** Calls [f] exactly once per stored segment intersecting the
+      query. *)
+
+  val size : t -> int
+  val block_count : t -> int
+end
+
+val query_ids : (module S with type t = 'a) -> 'a -> Vquery.t -> int list
+(** Sorted ids of the answer — the comparison form used by tests. *)

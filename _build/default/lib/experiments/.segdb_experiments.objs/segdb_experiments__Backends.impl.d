@@ -1,0 +1,1 @@
+lib/experiments/backends.ml: Harness Option Segdb_core Segdb_geom Vquery

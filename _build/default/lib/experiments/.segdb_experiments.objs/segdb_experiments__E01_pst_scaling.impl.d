@@ -1,0 +1,1 @@
+lib/experiments/e01_pst_scaling.ml: Array Ascii_plot Block_store Harness Io_stats List Lseg Naive_lsegs Rng Segdb_geom Segdb_io Segdb_pst Segdb_util Segdb_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/e02_pst_block_size.ml: Block_store E01_pst_scaling Harness Io_stats List Printf Rng Segdb_io Segdb_pst Segdb_util Segdb_workload Table

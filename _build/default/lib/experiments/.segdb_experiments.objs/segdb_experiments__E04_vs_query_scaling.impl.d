@@ -1,0 +1,1 @@
+lib/experiments/e04_vs_query_scaling.ml: Ascii_plot Backends Harness List Segdb_util Segdb_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/e05_cascading.ml: Harness List Rng Segdb_core Segdb_util Segdb_workload Table

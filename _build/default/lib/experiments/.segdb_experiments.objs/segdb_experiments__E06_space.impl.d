@@ -1,0 +1,1 @@
+lib/experiments/e06_space.ml: Backends Harness List Rng Segdb_core Segdb_util Segdb_workload Table

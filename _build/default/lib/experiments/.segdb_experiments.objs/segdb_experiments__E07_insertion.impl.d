@@ -1,0 +1,1 @@
+lib/experiments/e07_insertion.ml: Array Block_store Harness Io_stats List Rng Segdb_core Segdb_geom Segdb_io Segdb_itree Segdb_pst Segdb_util Segdb_workload Segment Table

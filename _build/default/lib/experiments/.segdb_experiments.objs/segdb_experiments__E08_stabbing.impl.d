@@ -1,0 +1,1 @@
+lib/experiments/e08_stabbing.ml: Array Backends Block_store Harness Io_stats List Rng Segdb_geom Segdb_io Segdb_itree Segdb_util Segdb_workload Segment Table Vquery

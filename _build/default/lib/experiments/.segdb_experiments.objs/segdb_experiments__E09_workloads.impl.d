@@ -1,0 +1,1 @@
+lib/experiments/e09_workloads.ml: Backends Harness List Printf Rng Segdb_util Segdb_workload Table

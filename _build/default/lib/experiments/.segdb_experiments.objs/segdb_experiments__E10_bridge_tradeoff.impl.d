@@ -1,0 +1,1 @@
+lib/experiments/e10_bridge_tradeoff.ml: Array Block_store Harness Io_stats List Printf Rng Segdb_geom Segdb_io Segdb_segtree Segdb_util Segdb_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/e12_duality.ml: Array Block_store Harness Io_stats List Lseg Printf Rng Segdb_geom Segdb_io Segdb_pst Segdb_util Segdb_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/e13_find_frontier.ml: Block_store Harness Io_stats List Lseg Rng Segdb_geom Segdb_io Segdb_pst Segdb_util Segdb_workload Stats Table

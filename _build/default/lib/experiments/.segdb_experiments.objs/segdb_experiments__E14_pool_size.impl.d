@@ -1,0 +1,1 @@
+lib/experiments/e14_pool_size.ml: Harness List Option Printf Rng Segdb_core Segdb_util Segdb_workload Table

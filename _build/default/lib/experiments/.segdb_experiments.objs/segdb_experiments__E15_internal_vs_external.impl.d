@@ -1,0 +1,1 @@
+lib/experiments/e15_internal_vs_external.ml: Array Block_store Harness Io_stats List Rng Segdb_core Segdb_geom Segdb_internal Segdb_io Segdb_itree Segdb_util Segdb_workload Table Unix

@@ -1,0 +1,1 @@
+lib/experiments/e16_construction.ml: Array Backends Block_store Ext_sort Float Harness Io_stats List Rng Segdb_core Segdb_io Segdb_util Segdb_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Io_stats List Segdb_io Segdb_util Stats Table

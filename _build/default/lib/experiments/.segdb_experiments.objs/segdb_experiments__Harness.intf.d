@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Io_stats Segdb_io Segdb_util

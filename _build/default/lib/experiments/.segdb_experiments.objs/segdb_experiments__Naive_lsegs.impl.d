@@ -1,0 +1,1 @@
+lib/experiments/naive_lsegs.ml: Array Block_store List Lseg Segdb_geom Segdb_io

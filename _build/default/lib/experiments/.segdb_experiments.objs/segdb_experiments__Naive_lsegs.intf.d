@@ -1,0 +1,1 @@
+lib/experiments/naive_lsegs.mli: Block_store Io_stats Lseg Segdb_geom Segdb_io

@@ -1,0 +1,18 @@
+(* Helper shared by the VS-query experiments: build each backend over a
+   segment set and measure a query workload. *)
+
+open Segdb_geom
+module Db = Segdb_core.Segdb
+
+let all = [ "naive"; "rtree"; "solution1"; "solution2" ]
+
+let build backend segs =
+  Db.create ~backend:(Option.get (Db.backend_of_string backend)) ~block:Harness.block
+    ~pool_blocks:Harness.pool_blocks segs
+
+let measure db (queries : Vquery.t array) =
+  Harness.measure ~io:(Db.io db) ~queries ~run:(Db.count db)
+
+let measure_backend backend segs queries =
+  let db = build backend segs in
+  (db, measure db queries)

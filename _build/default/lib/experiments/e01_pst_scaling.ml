@@ -1,0 +1,67 @@
+(* E1 — Lemma 2/3: the external PST answers segment queries on
+   line-based sets in O(log n + t) I/Os (binary) and O(log_B n + t)
+   (blocked), against the naive O(n/B) block scan. *)
+
+open Segdb_io
+open Segdb_geom
+open Segdb_util
+module W = Segdb_workload.Workload
+module Pst = Segdb_pst.Pst
+
+let id = "e1"
+let title = "E1: line-based PST query I/O vs N"
+let validates = "Lemmas 2-3 (Section 2): O(log n + t) / O(log_B n + t) vs naive O(n/B)"
+
+let queries_for rng ~vspan ~umax ~count =
+  Array.init count (fun _ ->
+      let uq = Rng.float rng (0.8 *. umax) in
+      let v = Rng.float rng vspan in
+      Lseg.query ~uq ~vlo:v ~vhi:(v +. (0.01 *. vspan)))
+
+let run (p : Harness.params) =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "n"; "log2 n"; "naive io"; "binary io"; "blocked io"; "mean t"; "naive blk"; "pst blk" ]
+  in
+  let pts_naive = ref [] and pts_bin = ref [] and pts_blk = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Rng.create p.seed in
+      let vspan = 1000.0 and umax = 100.0 in
+      let lsegs = W.line_based rng ~n ~vspan ~umax in
+      let queries = queries_for (Rng.create (p.seed + 1)) ~vspan ~umax ~count:40 in
+      let io = Io_stats.create () in
+      let pool () = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+      let naive = Naive_lsegs.build ~block:Harness.block ~pool:(pool ()) ~stats:io lsegs in
+      let binary = Pst.binary ~node_capacity:Harness.block ~pool:(pool ()) ~stats:io lsegs in
+      let blocked = Pst.blocked ~node_capacity:Harness.block ~pool:(pool ()) ~stats:io lsegs in
+      let c_naive = Harness.measure ~io ~queries ~run:(Naive_lsegs.count naive) in
+      let c_bin = Harness.measure ~io ~queries ~run:(Pst.count binary) in
+      let c_blk = Harness.measure ~io ~queries ~run:(Pst.count blocked) in
+      let fn = float_of_int n in
+      pts_naive := (fn, c_naive.mean_io) :: !pts_naive;
+      pts_bin := (fn, c_bin.mean_io) :: !pts_bin;
+      pts_blk := (fn, c_blk.mean_io) :: !pts_blk;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 (Harness.log2 (float_of_int n));
+          Table.cell_float ~decimals:1 c_naive.mean_io;
+          Table.cell_float ~decimals:1 c_bin.mean_io;
+          Table.cell_float ~decimals:1 c_blk.mean_io;
+          Table.cell_float ~decimals:1 c_blk.mean_out;
+          Table.cell_int (Naive_lsegs.block_count naive);
+          Table.cell_int (Pst.block_count blocked);
+        ])
+    (Harness.sweep_n p);
+  let chart =
+    Ascii_plot.render ~log_x:true ~title:"E1 (figure): query I/O vs N" ~x_label:"N"
+      ~y_label:"mean I/O per query"
+      [
+        { Ascii_plot.label = "naive scan"; points = List.rev !pts_naive };
+        { Ascii_plot.label = "binary PST"; points = List.rev !pts_bin };
+        { Ascii_plot.label = "blocked PST"; points = List.rev !pts_blk };
+      ]
+  in
+  [ Harness.Table table; Harness.Chart chart ]

@@ -1,0 +1,34 @@
+(* E2 — the blocked PST's O(log_B n) dependence on the block size B. *)
+
+open Segdb_io
+open Segdb_util
+module W = Segdb_workload.Workload
+module Pst = Segdb_pst.Pst
+
+let id = "e2"
+let title = "E2: blocked PST query I/O vs block size B"
+let validates = "Lemma 3: height and query cost shrink as log_B n"
+
+let run (p : Harness.params) =
+  let n = if p.quick then 1 lsl 13 else 1 lsl 16 in
+  let vspan = 1000.0 and umax = 100.0 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s (N = %d)" title n)
+      ~columns:[ "B"; "height"; "mean io"; "max io"; "mean t"; "blocks" ]
+  in
+  let rng = Rng.create p.seed in
+  let lsegs = W.line_based rng ~n ~vspan ~umax in
+  let queries = E01_pst_scaling.queries_for (Rng.create (p.seed + 1)) ~vspan ~umax ~count:40 in
+  List.iter
+    (fun b ->
+      let io = Io_stats.create () in
+      let pool = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+      let t = Pst.blocked ~node_capacity:b ~pool ~stats:io lsegs in
+      let c = Harness.measure ~io ~queries ~run:(Pst.count t) in
+      Table.add_row table
+        ([ Table.cell_int b; Table.cell_int (Pst.height t) ]
+        @ Harness.cost_cells c
+        @ [ Table.cell_int (Pst.block_count t) ]))
+    [ 16; 64; 256; 1024 ];
+  [ Harness.Table table ]

@@ -1,0 +1,52 @@
+(* E3 — output sensitivity: the "+t" term. Query cost must grow linearly
+   with the answer size at ~1/B blocks per reported segment, on top of a
+   logarithmic search term. *)
+
+open Segdb_io
+open Segdb_geom
+open Segdb_util
+module W = Segdb_workload.Workload
+module Pst = Segdb_pst.Pst
+
+let id = "e3"
+let title = "E3: PST query I/O vs output size"
+let validates = "Lemmas 2-3: the additive t/B term"
+
+let run (p : Harness.params) =
+  let n = if p.quick then 1 lsl 13 else 1 lsl 16 in
+  let vspan = 1000.0 and umax = 100.0 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s (N = %d, B = %d)" title n Harness.block)
+      ~columns:[ "width%"; "mean t"; "t/B"; "binary io"; "blocked io"; "io per t" ]
+  in
+  let rng = Rng.create p.seed in
+  let lsegs = W.line_based rng ~n ~vspan ~umax in
+  let io = Io_stats.create () in
+  let pool () = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+  let binary = Pst.binary ~node_capacity:Harness.block ~pool:(pool ()) ~stats:io lsegs in
+  let blocked = Pst.blocked ~node_capacity:Harness.block ~pool:(pool ()) ~stats:io lsegs in
+  List.iter
+    (fun width_pct ->
+      let qrng = Rng.create (p.seed + 1) in
+      let w = float_of_int width_pct /. 100.0 *. vspan in
+      let queries =
+        Array.init 30 (fun _ ->
+            let uq = Rng.float qrng (0.5 *. umax) in
+            let v = Rng.float qrng (vspan -. w) in
+            Lseg.query ~uq ~vlo:v ~vhi:(v +. w))
+      in
+      let c_bin = Harness.measure ~io ~queries ~run:(Pst.count binary) in
+      let c_blk = Harness.measure ~io ~queries ~run:(Pst.count blocked) in
+      Table.add_row table
+        [
+          Table.cell_int width_pct;
+          Table.cell_float ~decimals:1 c_blk.mean_out;
+          Table.cell_float ~decimals:1 (c_blk.mean_out /. float_of_int Harness.block);
+          Table.cell_float ~decimals:1 c_bin.mean_io;
+          Table.cell_float ~decimals:1 c_blk.mean_io;
+          Table.cell_float ~decimals:3
+            (if c_blk.mean_out > 0.0 then c_blk.mean_io /. c_blk.mean_out else 0.0);
+        ])
+    [ 1; 2; 5; 10; 25; 50; 100 ];
+  [ Harness.Table table ]

@@ -1,0 +1,58 @@
+(* E4 — Theorem 1: Solution 1 answers VS queries in
+   O(log n (log_B n + IL*(B)) + t) I/Os; with Solution 2 (Theorem 2)
+   shaving the first factor to O(log_B n). Series: naive scan, R-tree,
+   Solution 1, Solution 2. *)
+
+open Segdb_util
+module W = Segdb_workload.Workload
+
+let id = "e4"
+let title = "E4: VS query I/O vs N, all backends"
+let validates = "Theorems 1-2 (query): logarithmic growth; Solution 2 < Solution 1"
+
+let run (p : Harness.params) =
+  let span = 1000.0 in
+  let table =
+    Table.create ~title
+      ~columns:[ "n"; "naive"; "rtree"; "sol1"; "sol2"; "mean t"; "log2 n" ]
+  in
+  let pn = ref [] and pr = ref [] and p1 = ref [] and p2 = ref [] in
+  List.iter
+    (fun n ->
+      let segs = W.uniform (Segdb_util.Rng.create p.seed) ~n ~span in
+      let queries =
+        W.segment_queries (Segdb_util.Rng.create (p.seed + 1)) ~n:40 ~span ~selectivity:0.02
+      in
+      let cost b =
+        let _, c = Backends.measure_backend b segs queries in
+        c
+      in
+      let cn = cost "naive" and cr = cost "rtree" in
+      let c1 = cost "solution1" and c2 = cost "solution2" in
+      let fn = float_of_int n in
+      pn := (fn, cn.mean_io) :: !pn;
+      pr := (fn, cr.mean_io) :: !pr;
+      p1 := (fn, c1.mean_io) :: !p1;
+      p2 := (fn, c2.mean_io) :: !p2;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 cn.mean_io;
+          Table.cell_float ~decimals:1 cr.mean_io;
+          Table.cell_float ~decimals:1 c1.mean_io;
+          Table.cell_float ~decimals:1 c2.mean_io;
+          Table.cell_float ~decimals:1 c2.mean_out;
+          Table.cell_float ~decimals:1 (Harness.log2 (float_of_int n));
+        ])
+    (Harness.sweep_n p);
+  let chart =
+    Ascii_plot.render ~log_x:true ~title:"E4 (figure): VS query I/O vs N" ~x_label:"N"
+      ~y_label:"mean I/O per query"
+      [
+        { Ascii_plot.label = "naive scan"; points = List.rev !pn };
+        { Ascii_plot.label = "rtree"; points = List.rev !pr };
+        { Ascii_plot.label = "solution1"; points = List.rev !p1 };
+        { Ascii_plot.label = "solution2"; points = List.rev !p2 };
+      ]
+  in
+  [ Harness.Table table; Harness.Chart chart ]

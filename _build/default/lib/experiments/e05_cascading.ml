@@ -1,0 +1,53 @@
+(* E5 — Section 4.3: fractional cascading removes the per-level list
+   search inside G. Measured on the long-span workload (many long
+   fragments), Solution 2 with bridges vs without, plus the
+   guided/fallback counters. *)
+
+open Segdb_util
+module W = Segdb_workload.Workload
+module Db = Segdb_core.Segdb
+module S2 = Segdb_core.Solution2
+module Vs = Segdb_core.Vs_index
+
+let id = "e5"
+let title = "E5: fractional cascading ablation (Solution 2)"
+let validates = "Theorem 2 vs Lemma 4: cascading removes a log_B n factor in G"
+
+let run (p : Harness.params) =
+  let span = 1000.0 in
+  let table =
+    Table.create ~title
+      ~columns:[ "n"; "sol2 io"; "sol2-nofc io"; "guided"; "fallback"; "mean t" ]
+  in
+  List.iter
+    (fun n ->
+      let segs = W.long_spans (Rng.create p.seed) ~n ~span in
+      let queries =
+        W.segment_queries (Rng.create (p.seed + 1)) ~n:40 ~span ~selectivity:0.01
+      in
+      let run_variant cascade =
+        let cfg =
+          Vs.config ~pool_blocks:Harness.pool_blocks ~block:Harness.block ~cascade ()
+        in
+        let t = S2.build cfg segs in
+        let c =
+          Harness.measure ~io:cfg.stats ~queries ~run:(fun q ->
+              let k = ref 0 in
+              S2.query t q ~f:(fun _ -> incr k);
+              !k)
+        in
+        (c, S2.cascade_counters t)
+      in
+      let c_fc, (guided, fallback) = run_variant true in
+      let c_no, _ = run_variant false in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 c_fc.mean_io;
+          Table.cell_float ~decimals:1 c_no.mean_io;
+          Table.cell_int guided;
+          Table.cell_int fallback;
+          Table.cell_float ~decimals:1 c_fc.mean_out;
+        ])
+    (Harness.sweep_n p);
+  [ Harness.Table table ]

@@ -1,0 +1,85 @@
+(* E8 — the stabbing/VS gap motivating the paper (Figure 1): on pure
+   vertical *line* queries the interval tree over x-projections is the
+   optimal tool; the VS structures answer them too but pay their more
+   general machinery; conversely the interval tree cannot answer
+   bounded VS queries output-sensitively (it must post-filter its
+   entire stab answer). *)
+
+open Segdb_io
+open Segdb_geom
+open Segdb_util
+module W = Segdb_workload.Workload
+module Itree = Segdb_itree.Interval_tree
+
+let id = "e8"
+let title = "E8: stabbing (vertical line) queries: interval tree vs VS structures"
+let validates = "Introduction / Figure 1: VS queries strictly generalize stabbing"
+
+let run (p : Harness.params) =
+  let span = 1000.0 in
+  let t1 =
+    Table.create
+      ~title:(title ^ " — line queries")
+      ~columns:[ "n"; "itree"; "naive"; "rtree"; "sol1"; "sol2"; "mean t" ]
+  in
+  let t2 =
+    Table.create
+      ~title:"E8b: short VS queries — itree must post-filter its whole stab answer"
+      ~columns:[ "n"; "itree+filter"; "sol2"; "mean t(vs)"; "mean t(stab)" ]
+  in
+  List.iter
+    (fun n ->
+      (* grid-city keeps line answers sparse so the search term, not the
+         output, dominates — the regime the Introduction contrasts *)
+      let segs = W.grid_city (Rng.create p.seed) ~n ~span:(int_of_float span) ~max_len:40 in
+      let lines = W.line_queries (Rng.create (p.seed + 1)) ~n:40 ~span in
+      let vs = W.segment_queries (Rng.create (p.seed + 2)) ~n:40 ~span ~selectivity:0.005 in
+      (* interval tree over x-projections *)
+      let io = Io_stats.create () in
+      let pool = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+      let it =
+        Itree.build ~leaf_capacity:Harness.block ~pool ~stats:io
+          (Array.map
+             (fun (s : Segment.t) -> { Itree.lo = s.Segment.x1; hi = s.Segment.x2; seg = s })
+             segs)
+      in
+      let stab_count (q : Vquery.t) =
+        let k = ref 0 in
+        Itree.stab it q.Vquery.x ~f:(fun _ -> incr k);
+        !k
+      in
+      let vs_filter_count (q : Vquery.t) =
+        let k = ref 0 in
+        Itree.stab it q.Vquery.x ~f:(fun iv -> if Vquery.matches q iv.Itree.seg then incr k);
+        !k
+      in
+      let it_lines = Harness.measure ~io ~queries:lines ~run:stab_count in
+      let cost b qs =
+        let _, c = Backends.measure_backend b segs qs in
+        c
+      in
+      let cn = cost "naive" lines and cr = cost "rtree" lines in
+      let c1 = cost "solution1" lines and c2 = cost "solution2" lines in
+      Table.add_row t1
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 it_lines.mean_io;
+          Table.cell_float ~decimals:1 cn.mean_io;
+          Table.cell_float ~decimals:1 cr.mean_io;
+          Table.cell_float ~decimals:1 c1.mean_io;
+          Table.cell_float ~decimals:1 c2.mean_io;
+          Table.cell_float ~decimals:1 it_lines.mean_out;
+        ];
+      let it_vs = Harness.measure ~io ~queries:vs ~run:vs_filter_count in
+      let s2_vs = cost "solution2" vs in
+      let it_stab_t = Harness.measure ~io ~queries:vs ~run:stab_count in
+      Table.add_row t2
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 it_vs.mean_io;
+          Table.cell_float ~decimals:1 s2_vs.mean_io;
+          Table.cell_float ~decimals:1 s2_vs.mean_out;
+          Table.cell_float ~decimals:1 it_stab_t.mean_out;
+        ])
+    (Harness.sweep_n p);
+  [ Harness.Table t1; Harness.Table t2 ]

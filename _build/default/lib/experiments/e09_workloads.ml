@@ -1,0 +1,51 @@
+(* E9 — workload-shape sensitivity: the motivating application domains
+   (GIS roads, planarized city grids, temporal histories, fan hot-spots,
+   long parallel spans) at a fixed N. The R-tree degrades on skew (fans,
+   long spans); the paper's structures hold their bounds. *)
+
+open Segdb_util
+module W = Segdb_workload.Workload
+
+let id = "e9"
+let title = "E9: query I/O by workload family"
+let validates = "Introduction: robustness across GIS/temporal/adversarial shapes"
+
+let run (p : Harness.params) =
+  let n = if p.quick then 1 lsl 13 else 1 lsl 16 in
+  let span = 1000.0 in
+  let families =
+    [
+      ("roads", W.roads (Rng.create p.seed) ~n ~span);
+      ("grid-city", W.grid_city (Rng.create p.seed) ~n ~span:1000 ~max_len:60);
+      ("temporal", W.temporal (Rng.create p.seed) ~n ~keys:200 ~horizon:1000);
+      ("fans", W.fans (Rng.create p.seed) ~n ~centers:16 ~span:1000);
+      ("long-spans", W.long_spans (Rng.create p.seed) ~n ~span);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s (N = %d)" title n)
+      ~columns:[ "family"; "naive"; "rtree"; "sol1"; "sol2"; "mean t" ]
+  in
+  List.iter
+    (fun (name, segs) ->
+      let queries =
+        W.segment_queries (Rng.create (p.seed + 1)) ~n:30 ~span ~selectivity:0.02
+      in
+      let cost b =
+        let _, c = Backends.measure_backend b segs queries in
+        c
+      in
+      let cn = cost "naive" and cr = cost "rtree" in
+      let c1 = cost "solution1" and c2 = cost "solution2" in
+      Table.add_row table
+        [
+          name;
+          Table.cell_float ~decimals:1 cn.mean_io;
+          Table.cell_float ~decimals:1 cr.mean_io;
+          Table.cell_float ~decimals:1 c1.mean_io;
+          Table.cell_float ~decimals:1 c2.mean_io;
+          Table.cell_float ~decimals:1 c2.mean_out;
+        ])
+    families;
+  [ Harness.Table table ]

@@ -1,0 +1,72 @@
+(* E10 — the Section 4.3 trade-off study on G itself: list block
+   capacity sweep x cascading on/off. Our bridges are exact landing
+   pointers (the d -> 0 limit of the paper's d-spaced bridges, see
+   DESIGN.md), so the residual trade-off is the list block size: smaller
+   blocks mean deeper list indexes (more fallback I/O) but finer
+   walks. *)
+
+open Segdb_io
+open Segdb_util
+module W = Segdb_workload.Workload
+module G = Segdb_segtree.Slab_segment_tree
+
+let id = "e10"
+let title = "E10: G structure — list block size x cascading"
+let validates = "Section 4.3: bridge navigation vs per-level searches inside G"
+
+let run (p : Harness.params) =
+  let n = if p.quick then 1 lsl 13 else 1 lsl 16 in
+  let span = 1000.0 in
+  let nb = 17 in
+  let boundaries = Array.init nb (fun i -> float_of_int i *. (span /. float_of_int (nb - 1))) in
+  (* long fragments: co-sorted lines clipped to boundary multiples *)
+  let rng = Rng.create p.seed in
+  let raw = W.long_spans rng ~n ~span in
+  let frags =
+    Array.to_list raw
+    |> List.filter_map (fun (s : Segdb_geom.Segment.t) ->
+           let step = span /. float_of_int (nb - 1) in
+           let f = ceil (s.Segdb_geom.Segment.x1 /. step) *. step in
+           let l = floor (s.Segdb_geom.Segment.x2 /. step) *. step in
+           if f < l then Segdb_geom.Segment.clip_x s f l else None)
+    |> Array.of_list
+  in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s (fragments = %d)" title (Array.length frags))
+      ~columns:
+        [ "list block"; "cascade"; "mean io"; "max io"; "blocks"; "guided"; "fallback" ]
+  in
+  let qrng = Rng.create (p.seed + 1) in
+  let queries =
+    Array.init 40 (fun _ ->
+        let x = Rng.float qrng span in
+        let y = Rng.float qrng span in
+        (x, y, y +. (0.01 *. span)))
+  in
+  List.iter
+    (fun lb ->
+      List.iter
+        (fun cascade ->
+          let io = Io_stats.create () in
+          let pool = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+          let g = G.build ~cascade ~list_block:lb ~pool ~stats:io ~boundaries frags in
+          let c =
+            Harness.measure ~io ~queries ~run:(fun (x, ylo, yhi) ->
+                let k = ref 0 in
+                G.query g ~x ~ylo ~yhi ~f:(fun _ -> incr k);
+                !k)
+          in
+          Table.add_row table
+            [
+              Table.cell_int lb;
+              (if cascade then "yes" else "no");
+              Table.cell_float ~decimals:1 c.mean_io;
+              Table.cell_float ~decimals:0 c.max_io;
+              Table.cell_int (G.block_count g);
+              Table.cell_int (G.guided_levels g);
+              Table.cell_int (G.fallback_searches g);
+            ])
+        [ true; false ])
+    [ 16; 64; 256 ];
+  [ Harness.Table table ]

@@ -1,0 +1,70 @@
+(* E13 — Lemma 1's frontier claim: the paper's queue-based Find keeps
+   at most two candidate nodes per tree level. We run the breadth-first
+   Find with witness pruning over NCT workloads and report the realized
+   frontier widths and visited-block counts against the tree height —
+   the empirical footing for the O(log n) bound of Find. *)
+
+open Segdb_io
+open Segdb_geom
+open Segdb_util
+module W = Segdb_workload.Workload
+module Pst = Segdb_pst.Pst
+
+let id = "e13"
+let title = "E13: Find frontier width (Lemma 1.1, Appendix A)"
+let validates = "Lemma 1.1: the Find queue holds O(1) nodes per level"
+
+let run (p : Harness.params) =
+  let table =
+    Table.create ~title
+      ~columns:
+        [ "n"; "family"; "height"; "mean width"; "max width"; "mean visited"; "agree" ]
+  in
+  let sweep = if p.quick then [ 1 lsl 11; 1 lsl 13 ] else [ 1 lsl 12; 1 lsl 14; 1 lsl 16 ] in
+  let vspan = 1000.0 and umax = 100.0 in
+  List.iter
+    (fun n ->
+      let families =
+        [
+          ("line-based", W.line_based (Rng.create p.seed) ~n ~vspan ~umax);
+          ("fans", W.line_based_fan (Rng.create p.seed) ~n ~centers:8 ~vspan ~umax);
+        ]
+      in
+      List.iter
+        (fun (fam, lsegs) ->
+          let io = Io_stats.create () in
+          let pool = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+          (* binary: the Section 2 structure the lemma is stated for *)
+          let t = Pst.binary ~node_capacity:Harness.block ~pool ~stats:io lsegs in
+          let qrng = Rng.create (p.seed + 1) in
+          let widths = Stats.create () and visited = Stats.create () in
+          let agree = ref true in
+          for _ = 1 to 50 do
+            let uq = Rng.float qrng (0.8 *. umax) in
+            let v = Rng.float qrng vspan in
+            let q = Lseg.query ~uq ~vlo:v ~vhi:(v +. (0.02 *. vspan)) in
+            let prof = Pst.find_profile t q ~leftmost:true in
+            Stats.add widths (float_of_int prof.max_width);
+            Stats.add visited (float_of_int prof.visited);
+            let dfs = Pst.find_leftmost t q in
+            let same =
+              match (prof.result, dfs) with
+              | None, None -> true
+              | Some a, Some b -> Lseg.equal a b
+              | _ -> false
+            in
+            if not same then agree := false
+          done;
+          Table.add_row table
+            [
+              Table.cell_int n;
+              fam;
+              Table.cell_int (Pst.height t);
+              Table.cell_float ~decimals:2 (Stats.mean widths);
+              Table.cell_float ~decimals:0 (Stats.max widths);
+              Table.cell_float ~decimals:1 (Stats.mean visited);
+              (if !agree then "yes" else "NO");
+            ])
+        families)
+    sweep;
+  [ Harness.Table table ]

@@ -1,0 +1,44 @@
+(* E14 — buffer-pool sensitivity (DESIGN.md ablation 4): the I/O counts
+   of every index as the memory budget M grows from a few blocks to
+   index-sized. The paper's bounds are memory-oblivious (beyond one
+   block per active structure); the naive scan, by contrast, is saved
+   only by a pool larger than the database. *)
+
+open Segdb_util
+module W = Segdb_workload.Workload
+module Db = Segdb_core.Segdb
+
+let id = "e14"
+let title = "E14: query I/O vs buffer-pool size"
+let validates = "cost-model sanity: index bounds hold with O(1) memory; scans need O(n)"
+
+let run (p : Harness.params) =
+  let n = if p.quick then 1 lsl 13 else 1 lsl 16 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create p.seed) ~n ~span in
+  let queries = W.segment_queries (Rng.create (p.seed + 1)) ~n:40 ~span ~selectivity:0.02 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s (N = %d, n/B = %d)" title n (n / Harness.block))
+      ~columns:[ "pool"; "naive"; "rtree"; "sol1"; "sol2" ]
+  in
+  List.iter
+    (fun pool_blocks ->
+      let cost backend =
+        let db =
+          Db.create ~backend:(Option.get (Db.backend_of_string backend)) ~block:Harness.block
+            ~pool_blocks segs
+        in
+        let c = Harness.measure ~io:(Db.io db) ~queries ~run:(Db.count db) in
+        Table.cell_float ~decimals:1 c.mean_io
+      in
+      Table.add_row table
+        [
+          Table.cell_int pool_blocks;
+          cost "naive";
+          cost "rtree";
+          cost "solution1";
+          cost "solution2";
+        ])
+    [ 4; 16; 64; 256; 1024 ];
+  [ Harness.Table table ]

@@ -1,0 +1,109 @@
+(* E15 — the introduction's framing: internal-memory structures achieve
+   O(log N + T) stabbing in core; external structures trade pointer
+   chasing for blocked access. We compare the in-core interval tree
+   against the external one on wall-clock (the only meaningful metric
+   for a pointer structure) and report the external tree's I/O for the
+   same workload. *)
+
+open Segdb_io
+open Segdb_util
+module W = Segdb_workload.Workload
+module Ext = Segdb_itree.Interval_tree
+module Int = Segdb_internal.Internal_interval_tree
+
+module Ivs = Segdb_internal.Internal_vs
+module Db = Segdb_core.Segdb
+
+let id = "e15"
+let title = "E15: internal vs external structures"
+let validates = "Introduction: in-core baselines vs the external-memory model"
+
+let time_per_query f queries =
+  let t0 = Unix.gettimeofday () in
+  let reps = 5 in
+  for _ = 1 to reps do
+    Array.iter (fun q -> ignore (f q)) queries
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int (reps * Array.length queries) *. 1e6
+
+let run (p : Harness.params) =
+  let table =
+    Table.create ~title:(title ^ " — stabbing (interval trees)")
+      ~columns:[ "n"; "internal us/q"; "external us/q"; "external io/q"; "mean t" ]
+  in
+  let table2 =
+    Table.create
+      ~title:
+        "E15b: VS queries — in-core [5]-style structure vs Solution 2 (wall-clock + I/O)"
+      ~columns:[ "n"; "internal us/q"; "sol2 us/q"; "sol2 io/q"; "mean t" ]
+  in
+  let sweep = if p.quick then [ 1 lsl 12; 1 lsl 14 ] else [ 1 lsl 13; 1 lsl 15; 1 lsl 17 ] in
+  List.iter
+    (fun n ->
+      let segs = W.grid_city (Rng.create p.seed) ~n ~span:4000 ~max_len:40 in
+      let ivls =
+        Array.map
+          (fun (s : Segdb_geom.Segment.t) ->
+            { Ext.lo = s.Segdb_geom.Segment.x1; hi = s.Segdb_geom.Segment.x2; seg = s })
+          segs
+      in
+      let iivls =
+        Array.map (fun (iv : Ext.ivl) -> { Int.lo = iv.lo; hi = iv.hi; seg = iv.seg }) ivls
+      in
+      let xs =
+        let qrng = Rng.create (p.seed + 1) in
+        Array.init 64 (fun _ -> Rng.float qrng 4000.0)
+      in
+      let internal = Int.build iivls in
+      let io = Io_stats.create () in
+      let pool = Block_store.Pool.create ~capacity:Harness.pool_blocks in
+      let external_ = Ext.build ~leaf_capacity:Harness.block ~pool ~stats:io ivls in
+      let count_int x =
+        let k = ref 0 in
+        Int.stab internal x ~f:(fun _ -> incr k);
+        !k
+      in
+      let count_ext x =
+        let k = ref 0 in
+        Ext.stab external_ x ~f:(fun _ -> incr k);
+        !k
+      in
+      let t_int = time_per_query count_int xs in
+      let t_ext = time_per_query count_ext xs in
+      let c = Harness.measure ~io ~queries:xs ~run:count_ext in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 t_int;
+          Table.cell_float ~decimals:1 t_ext;
+          Table.cell_float ~decimals:1 c.mean_io;
+          Table.cell_float ~decimals:1 c.mean_out;
+        ];
+      (* VS queries: the [5]-style in-core structure vs Solution 2 *)
+      let ivs = Ivs.build segs in
+      let db =
+        Db.create ~backend:`Solution2 ~block:Harness.block ~pool_blocks:Harness.pool_blocks
+          segs
+      in
+      let vqueries =
+        Segdb_workload.Workload.segment_queries (Rng.create (p.seed + 2)) ~n:64
+          ~span:4000.0 ~selectivity:0.01
+      in
+      let count_ivs q =
+        let k = ref 0 in
+        Ivs.query ivs q ~f:(fun _ -> incr k);
+        !k
+      in
+      let t_ivs = time_per_query count_ivs vqueries in
+      let t_sol2 = time_per_query (Db.count db) vqueries in
+      let c2 = Harness.measure ~io:(Db.io db) ~queries:vqueries ~run:(Db.count db) in
+      Table.add_row table2
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 t_ivs;
+          Table.cell_float ~decimals:1 t_sol2;
+          Table.cell_float ~decimals:1 c2.mean_io;
+          Table.cell_float ~decimals:1 c2.mean_out;
+        ])
+    sweep;
+  [ Harness.Table table; Harness.Table table2 ]

@@ -1,0 +1,44 @@
+open Segdb_io
+open Segdb_util
+
+type params = { seed : int; quick : bool }
+
+let default = { seed = 42; quick = false }
+let quick = { default with quick = true }
+
+let sweep_n p =
+  let hi = if p.quick then 13 else 17 in
+  List.init (hi - 9) (fun i -> 1 lsl (i + 10))
+
+type output = Table of Segdb_util.Table.t | Chart of string
+
+type cost = { queries : int; mean_io : float; max_io : float; mean_out : float }
+
+let measure ~io ~queries ~run =
+  let st = Stats.create () and out = Stats.create () in
+  Array.iter
+    (fun q ->
+      let before = Io_stats.snapshot io in
+      let t = run q in
+      let d = Io_stats.diff before (Io_stats.snapshot io) in
+      Stats.add st (float_of_int (Io_stats.snapshot_total d));
+      Stats.add out (float_of_int t))
+    queries;
+  {
+    queries = Stats.count st;
+    mean_io = Stats.mean st;
+    max_io = Stats.max st;
+    mean_out = Stats.mean out;
+  }
+
+let cost_cells c =
+  [
+    Table.cell_float ~decimals:1 c.mean_io;
+    Table.cell_float ~decimals:0 c.max_io;
+    Table.cell_float ~decimals:1 c.mean_out;
+  ]
+
+let pool_blocks = 16
+let block = 64
+
+let log2 x = log x /. log 2.0

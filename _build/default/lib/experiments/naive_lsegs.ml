@@ -1,0 +1,29 @@
+open Segdb_io
+open Segdb_geom
+
+module Store = Block_store.Make (struct
+  type t = Lseg.t array
+end)
+
+type t = { store : Store.t; blocks : Block_store.addr list }
+
+let build ?(block = 64) ~pool ~stats lsegs =
+  let store = Store.create ~name:"naive-lsegs" ~pool ~stats () in
+  let n = Array.length lsegs in
+  let blocks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let len = min block (n - !i) in
+    blocks := Store.alloc store (Array.sub lsegs !i len) :: !blocks;
+    i := !i + len
+  done;
+  { store; blocks = !blocks }
+
+let count t q =
+  let n = ref 0 in
+  List.iter
+    (fun a -> Array.iter (fun s -> if Lseg.matches q s then incr n) (Store.read t.store a))
+    t.blocks;
+  !n
+
+let block_count t = Store.block_count t.store

@@ -1,0 +1,12 @@
+open Segdb_io
+open Segdb_geom
+
+(** Block-scan baseline over line-based segments (for E1-E3). *)
+
+type t
+
+val build :
+  ?block:int -> pool:Block_store.Pool.t -> stats:Io_stats.t -> Lseg.t array -> t
+
+val count : t -> Lseg.query -> int
+val block_count : t -> int

@@ -1,0 +1,1 @@
+lib/geom/bbox.ml: Float Format Segment Vquery

@@ -1,0 +1,1 @@
+lib/geom/bbox.mli: Format Segment Vquery

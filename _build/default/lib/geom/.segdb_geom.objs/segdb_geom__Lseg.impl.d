@@ -1,0 +1,1 @@
+lib/geom/lseg.ml: Float Format Segment

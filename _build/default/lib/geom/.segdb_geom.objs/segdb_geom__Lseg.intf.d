@@ -1,0 +1,1 @@
+lib/geom/lseg.mli: Format Segment

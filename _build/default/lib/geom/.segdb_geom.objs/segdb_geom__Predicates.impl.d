@@ -1,0 +1,1 @@
+lib/geom/predicates.ml: Array Segment

@@ -1,0 +1,1 @@
+lib/geom/sweep.ml: Array Float List Predicates Segdb_wbt Segment

@@ -1,0 +1,1 @@
+lib/geom/sweep.mli: Segment

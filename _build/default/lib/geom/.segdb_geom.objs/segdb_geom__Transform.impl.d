@@ -1,0 +1,1 @@
+lib/geom/transform.ml: Float Segment Vquery

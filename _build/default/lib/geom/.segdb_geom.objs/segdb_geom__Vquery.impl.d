@@ -1,0 +1,1 @@
+lib/geom/vquery.ml: Float Format Segment

@@ -1,0 +1,1 @@
+lib/geom/vquery.mli: Format Segment

@@ -1,0 +1,64 @@
+type ipoint = int * int
+type iseg = ipoint * ipoint
+
+let orient (ax, ay) (bx, by) (cx, cy) =
+  let det = ((bx - ax) * (cy - ay)) - ((by - ay) * (cx - ax)) in
+  compare det 0
+
+let on_segment ((px, py) as p) (((ax, ay) as a), ((bx, by) as b)) =
+  orient a b p = 0
+  && min ax bx <= px
+  && px <= max ax bx
+  && min ay by <= py
+  && py <= max ay by
+
+(* 1-D closed-interval overlap length sign: 0 = disjoint, 1 = single
+   point, 2 = positive-length overlap. *)
+let overlap_1d a1 a2 b1 b2 =
+  let lo = max (min a1 a2) (min b1 b2) and hi = min (max a1 a2) (max b1 b2) in
+  if lo > hi then 0 else if lo = hi then 1 else 2
+
+let collinear_overlap ((ax, ay), (bx, by)) ((cx, cy), (dx, dy)) =
+  (* All four points collinear; project on the dominant axis. *)
+  if max (abs (bx - ax)) (abs (dx - cx)) >= max (abs (by - ay)) (abs (dy - cy)) then
+    overlap_1d ax bx cx dx
+  else overlap_1d ay by cy dy
+
+let crosses ((a, b) as s1) ((c, d) as s2) =
+  let d1 = orient a b c
+  and d2 = orient a b d
+  and d3 = orient c d a
+  and d4 = orient c d b in
+  if d1 = 0 && d2 = 0 && d3 = 0 && d4 = 0 then collinear_overlap s1 s2 = 2
+  else d1 * d2 < 0 && d3 * d4 < 0
+
+let intersect ((a, b) as s1) ((c, d) as s2) =
+  let d1 = orient a b c
+  and d2 = orient a b d
+  and d3 = orient c d a
+  and d4 = orient c d b in
+  if d1 * d2 < 0 && d3 * d4 < 0 then true
+  else
+    (d1 = 0 && on_segment c s1)
+    || (d2 = 0 && on_segment d s1)
+    || (d3 = 0 && on_segment a s2)
+    || (d4 = 0 && on_segment b s2)
+
+let nct_set segs =
+  let n = Array.length segs in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok && crosses segs.(i) segs.(j) then ok := false
+    done
+  done;
+  !ok
+
+let of_segment (s : Segment.t) =
+  let conv v =
+    let i = int_of_float v in
+    if float_of_int i <> v then
+      invalid_arg "Predicates.of_segment: non-integer coordinate";
+    i
+  in
+  ((conv s.x1, conv s.y1), (conv s.x2, conv s.y2))

@@ -1,0 +1,40 @@
+type t = { x1 : float; y1 : float; x2 : float; y2 : float; id : int }
+
+let make ?(id = -1) (ax, ay) (bx, by) =
+  if ax < bx || (ax = bx && ay <= by) then { x1 = ax; y1 = ay; x2 = bx; y2 = by; id }
+  else { x1 = bx; y1 = by; x2 = ax; y2 = ay; id }
+
+let with_id s id = { s with id }
+
+let equal a b = a.id = b.id && a.x1 = b.x1 && a.y1 = b.y1 && a.x2 = b.x2 && a.y2 = b.y2
+
+let compare_id a b = compare a.id b.id
+
+let is_vertical s = s.x1 = s.x2
+let is_point s = s.x1 = s.x2 && s.y1 = s.y2
+
+let min_x s = s.x1
+let max_x s = s.x2
+let min_y s = if s.y1 <= s.y2 then s.y1 else s.y2
+let max_y s = if s.y1 >= s.y2 then s.y1 else s.y2
+
+let spans_x s x = s.x1 <= x && x <= s.x2
+
+let slope s =
+  if s.x1 = s.x2 then infinity else (s.y2 -. s.y1) /. (s.x2 -. s.x1)
+
+let y_at s x =
+  if s.x1 = s.x2 then s.y1
+  else s.y1 +. ((s.y2 -. s.y1) *. ((x -. s.x1) /. (s.x2 -. s.x1)))
+
+let pp ppf s = Format.fprintf ppf "#%d[(%g,%g)-(%g,%g)]" s.id s.x1 s.y1 s.x2 s.y2
+
+let clip_x s lo hi =
+  if lo > hi then None
+  else if is_vertical s then if lo <= s.x1 && s.x1 <= hi then Some s else None
+  else
+    let lo' = if s.x1 > lo then s.x1 else lo
+    and hi' = if s.x2 < hi then s.x2 else hi in
+    if lo' > hi' then None
+    else if lo' = s.x1 && hi' = s.x2 then Some s
+    else Some { s with x1 = lo'; y1 = y_at s lo'; x2 = hi'; y2 = y_at s hi' }

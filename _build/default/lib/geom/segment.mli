@@ -1,0 +1,46 @@
+(** Plane segments with stable identities.
+
+    A segment database stores NCT segments: mutually non-crossing but
+    possibly touching. Segments are normalized at construction so that
+    [(x1, y1)] is the lexicographically smaller endpoint; [id] survives
+    fragment splitting inside the indexes, so query answers can be
+    reported in terms of the original segments. *)
+
+type t = private { x1 : float; y1 : float; x2 : float; y2 : float; id : int }
+
+val make : ?id:int -> float * float -> float * float -> t
+(** [make (x1, y1) (x2, y2)] normalizes endpoint order. The default [id]
+    is [-1] (useful for throwaway geometry); indexes require ids to be
+    distinct, which {!Segdb_workload} generators and [with_id] ensure. *)
+
+val with_id : t -> int -> t
+
+val equal : t -> t -> bool
+(** Geometric and id equality. *)
+
+val compare_id : t -> t -> int
+
+val is_vertical : t -> bool
+val is_point : t -> bool
+
+val min_x : t -> float
+val max_x : t -> float
+val min_y : t -> float
+val max_y : t -> float
+
+val spans_x : t -> float -> bool
+(** [spans_x s x] iff the closed x-extent of [s] contains [x]. *)
+
+val slope : t -> float
+(** [dy/dx]; [infinity] on vertical segments. *)
+
+val y_at : t -> float -> float
+(** Ordinate of [s] at abscissa [x], assuming [spans_x s x] and [s] not
+    vertical. On a vertical segment returns its lower ordinate. *)
+
+val pp : Format.formatter -> t -> unit
+
+val clip_x : t -> float -> float -> t option
+(** [clip_x s lo hi] is the part of [s] with abscissa in [\[lo, hi\]]
+    (same id), or [None] if the intersection is empty. Vertical segments
+    are kept iff their abscissa lies in range. *)

@@ -1,0 +1,1 @@
+lib/internal/internal_interval_tree.ml: Array List Segdb_geom Segment

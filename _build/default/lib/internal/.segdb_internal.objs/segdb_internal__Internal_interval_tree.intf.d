@@ -1,0 +1,1 @@
+lib/internal/internal_interval_tree.mli: Segdb_geom Segment

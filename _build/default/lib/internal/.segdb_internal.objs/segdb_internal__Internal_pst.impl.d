@@ -1,0 +1,1 @@
+lib/internal/internal_pst.ml: Array Lseg Segdb_geom

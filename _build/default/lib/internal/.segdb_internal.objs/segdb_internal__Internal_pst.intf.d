@@ -1,0 +1,1 @@
+lib/internal/internal_pst.mli: Lseg Segdb_geom

@@ -1,0 +1,1 @@
+lib/internal/internal_vs.ml: Array Hashtbl Internal_pst List Lseg Segdb_geom Segment Vquery

@@ -1,0 +1,1 @@
+lib/internal/internal_vs.mli: Segdb_geom Segment Vquery

@@ -1,0 +1,253 @@
+open Segdb_geom
+
+type ivl = { lo : float; hi : float; seg : Segment.t }
+
+(* Node: center point, the intervals containing it sorted by lo
+   ascending and by hi descending, and side subtrees. *)
+type node = {
+  center : float;
+  by_lo : ivl array;
+  by_hi : ivl array;
+  left : node option;
+  right : node option;
+  count : int; (* intervals in this subtree *)
+}
+
+type t = { mutable root : node option; mutable size : int; mutable ops : int }
+
+let sort_by_lo a =
+  Array.sort (fun x y -> compare (x.lo, x.seg.Segment.id) (y.lo, y.seg.Segment.id)) a;
+  a
+
+let sort_by_hi a =
+  Array.sort (fun x y -> compare (y.hi, y.seg.Segment.id) (x.hi, x.seg.Segment.id)) a;
+  a
+
+let rec build_rec (ivls : ivl list) : node option =
+  match ivls with
+  | [] -> None
+  | _ ->
+      let pts = List.concat_map (fun iv -> [ iv.lo; iv.hi ]) ivls in
+      let pts = List.sort compare pts in
+      let center = List.nth pts (List.length pts / 2) in
+      let here, lefts, rights =
+        List.fold_left
+          (fun (h, l, r) iv ->
+            if iv.hi < center then (h, iv :: l, r)
+            else if iv.lo > center then (h, l, iv :: r)
+            else (iv :: h, l, r))
+          ([], [], []) ivls
+      in
+      if here = [] && (lefts = [] || rights = []) then
+        (* degenerate distribution; still terminates since one side is
+           empty only when all intervals avoid the median, which forces
+           [here] nonempty unless values repeat — then shrink by one *)
+        match (lefts, rights) with
+        | [], [] -> None
+        | iv :: rest, [] | [], iv :: rest ->
+            Some
+              {
+                center = iv.lo;
+                by_lo = sort_by_lo [| iv |];
+                by_hi = sort_by_hi [| iv |];
+                left = None;
+                right = build_rec rest;
+                count = List.length ivls;
+              }
+        | _ -> assert false
+      else
+        Some
+          {
+            center;
+            by_lo = sort_by_lo (Array.of_list here);
+            by_hi = sort_by_hi (Array.of_list here);
+            left = build_rec lefts;
+            right = build_rec rights;
+            count = List.length ivls;
+          }
+
+let build ivls =
+  Array.iter
+    (fun iv -> if iv.lo > iv.hi then invalid_arg "Internal_interval_tree.build: lo > hi")
+    ivls;
+  { root = build_rec (Array.to_list ivls); size = Array.length ivls; ops = 0 }
+
+let size t = t.size
+
+let rec height_rec = function
+  | None -> 0
+  | Some n ->
+      1 + max (height_rec n.left) (height_rec n.right)
+
+let height t = height_rec t.root
+
+let rec iter_rec n f =
+  match n with
+  | None -> ()
+  | Some n ->
+      Array.iter f n.by_lo;
+      iter_rec n.left f;
+      iter_rec n.right f
+
+let iter t f = iter_rec t.root f
+
+let stab t x ~f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        if x < n.center then begin
+          (* by_lo ascending: report while lo <= x *)
+          (try
+             Array.iter
+               (fun iv -> if iv.lo <= x then f iv else raise Exit)
+               n.by_lo
+           with Exit -> ());
+          go n.left
+        end
+        else if x > n.center then begin
+          (try
+             Array.iter (fun iv -> if iv.hi >= x then f iv else raise Exit) n.by_hi
+           with Exit -> ());
+          go n.right
+        end
+        else Array.iter f n.by_lo
+  in
+  go t.root
+
+let stab_list t x =
+  let acc = ref [] in
+  stab t x ~f:(fun iv -> acc := iv :: !acc);
+  !acc
+
+let overlap t ~lo ~hi ~f =
+  if lo > hi then invalid_arg "Internal_interval_tree.overlap: lo > hi";
+  (* stab lo, plus every interval starting inside (lo, hi] *)
+  stab t lo ~f;
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        (* subtree may contain starts in (lo, hi] anywhere *)
+        Array.iter (fun iv -> if iv.lo > lo && iv.lo <= hi then f iv) n.by_lo;
+        if n.center >= lo then go n.left;
+        if n.center <= hi then go n.right
+  in
+  go t.root
+
+(* scapegoat-style insertion *)
+let rec flatten n acc =
+  match n with
+  | None -> acc
+  | Some n -> flatten n.left (flatten n.right (Array.fold_left (fun a iv -> iv :: a) acc n.by_lo))
+
+let rec insert_rec node iv depth =
+  match node with
+  | None ->
+      Some
+        {
+          center = iv.lo;
+          by_lo = [| iv |];
+          by_hi = [| iv |];
+          left = None;
+          right = None;
+          count = 1;
+        }
+  | Some n ->
+      if iv.hi < n.center then
+        Some { n with left = insert_rec n.left iv (depth + 1); count = n.count + 1 }
+      else if iv.lo > n.center then
+        Some { n with right = insert_rec n.right iv (depth + 1); count = n.count + 1 }
+      else
+        Some
+          {
+            n with
+            by_lo = sort_by_lo (Array.append n.by_lo [| iv |]);
+            by_hi = sort_by_hi (Array.append n.by_hi [| iv |]);
+            count = n.count + 1;
+          }
+
+let maybe_rebuild t =
+  t.ops <- t.ops + 1;
+  (* periodic global rebuild keeps the backbone balanced without
+     per-rotation list surgery *)
+  if t.ops > max 32 (t.size / 2) then begin
+    t.root <- build_rec (flatten t.root []);
+    t.ops <- 0
+  end
+
+let insert t iv =
+  if iv.lo > iv.hi then invalid_arg "Internal_interval_tree.insert: lo > hi";
+  t.root <- insert_rec t.root iv 0;
+  t.size <- t.size + 1;
+  maybe_rebuild t
+
+let delete t iv =
+  let removed = ref false in
+  let prune a =
+    match
+      Array.find_index
+        (fun c -> c.seg.Segment.id = iv.seg.Segment.id && c.lo = iv.lo && c.hi = iv.hi)
+        a
+    with
+    | Some i ->
+        removed := true;
+        let out = Array.make (Array.length a - 1) iv in
+        Array.blit a 0 out 0 i;
+        Array.blit a (i + 1) out i (Array.length a - 1 - i);
+        out
+    | None -> a
+  in
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if !removed then Some n
+        else if iv.hi < n.center then
+          let left = go n.left in
+          if !removed then Some { n with left; count = n.count - 1 } else Some n
+        else if iv.lo > n.center then
+          let right = go n.right in
+          if !removed then Some { n with right; count = n.count - 1 } else Some n
+        else begin
+          let by_lo = prune n.by_lo in
+          if !removed then begin
+            let by_hi = prune n.by_hi in
+            ignore by_hi;
+            (* recompute by_hi from by_lo to stay consistent *)
+            let by_hi = sort_by_hi (Array.copy by_lo) in
+            if Array.length by_lo = 0 && n.left = None && n.right = None then None
+            else Some { n with by_lo; by_hi; count = n.count - 1 }
+          end
+          else Some n
+        end
+  in
+  t.root <- go t.root;
+  if !removed then begin
+    t.size <- t.size - 1;
+    maybe_rebuild t
+  end;
+  !removed
+
+let check_invariants t =
+  let ok = ref true in
+  let total = ref 0 in
+  let rec go lo hi = function
+    | None -> ()
+    | Some n ->
+        (match lo with Some b -> if n.center < b then ok := false | None -> ());
+        (match hi with Some b -> if n.center > b then ok := false | None -> ());
+        total := !total + Array.length n.by_lo;
+        if Array.length n.by_lo <> Array.length n.by_hi then ok := false;
+        Array.iter
+          (fun iv -> if not (iv.lo <= n.center && n.center <= iv.hi) then ok := false)
+          n.by_lo;
+        for i = 1 to Array.length n.by_lo - 1 do
+          if n.by_lo.(i - 1).lo > n.by_lo.(i).lo then ok := false
+        done;
+        for i = 1 to Array.length n.by_hi - 1 do
+          if n.by_hi.(i - 1).hi < n.by_hi.(i).hi then ok := false
+        done;
+        go lo (Some n.center) n.left;
+        go (Some n.center) hi n.right
+  in
+  go None None t.root;
+  if !total <> t.size then ok := false;
+  !ok

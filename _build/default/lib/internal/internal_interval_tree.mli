@@ -1,0 +1,37 @@
+open Segdb_geom
+
+(** Internal-memory interval tree (Edelsbrunner / Preparata–Shamos —
+    the paper's references [6, 8]).
+
+    The paper frames its contribution against internal-memory results:
+    stabbing queries cost O(log N + T) in memory with O(N) space. This
+    module is that baseline, used by experiment E15 to quantify what the
+    external structures give up (wall-clock constant factors) and gain
+    (I/O behaviour) relative to a pointer structure.
+
+    Classic construction: each node carries a center point, the
+    intervals containing it (sorted by both endpoints), and subtrees
+    for the intervals entirely to either side. Static build is
+    perfectly balanced over endpoint medians; insertion descends by
+    center and triggers scapegoat rebuilds, so the tree stays
+    logarithmic. *)
+
+type ivl = { lo : float; hi : float; seg : Segment.t }
+
+type t
+
+val build : ivl array -> t
+val insert : t -> ivl -> unit
+val delete : t -> ivl -> bool
+
+val size : t -> int
+val height : t -> int
+
+val stab : t -> float -> f:(ivl -> unit) -> unit
+val stab_list : t -> float -> ivl list
+
+val overlap : t -> lo:float -> hi:float -> f:(ivl -> unit) -> unit
+(** All intervals meeting [\[lo, hi\]], each once. *)
+
+val iter : t -> (ivl -> unit) -> unit
+val check_invariants : t -> bool

@@ -1,0 +1,111 @@
+open Segdb_geom
+
+type node = {
+  seg : Lseg.t; (* deepest segment of the subtree *)
+  kmin : Lseg.t; (* subtree key range *)
+  kmax : Lseg.t;
+  left : node option;
+  right : node option;
+  count : int;
+}
+
+type t = { root : node option }
+
+let size t = match t.root with Some n -> n.count | None -> 0
+
+let rec height_rec = function
+  | None -> 0
+  | Some n -> 1 + max (height_rec n.left) (height_rec n.right)
+
+let height t = height_rec t.root
+
+(* [arr] sorted by {!Lseg.compare_key}; extract the deepest as the node,
+   split the rest at the median key. *)
+let rec build_rec (arr : Lseg.t array) lo hi : node option =
+  if lo > hi then None
+  else begin
+    let deepest = ref lo in
+    for i = lo + 1 to hi do
+      if Lseg.compare_far_u arr.(i) arr.(!deepest) > 0 then deepest := i
+    done;
+    let d = arr.(!deepest) in
+    (* remove the deepest, split the remainder at its median *)
+    let rest = Array.make (hi - lo) d in
+    let j = ref 0 in
+    for i = lo to hi do
+      if i <> !deepest then begin
+        rest.(!j) <- arr.(i);
+        incr j
+      end
+    done;
+    let m = Array.length rest in
+    let mid = m / 2 in
+    let left = build_rec rest 0 (mid - 1) and right = build_rec rest mid (m - 1) in
+    Some { seg = d; kmin = arr.(lo); kmax = arr.(hi); left; right; count = hi - lo + 1 }
+  end
+
+let build lsegs =
+  let arr = Array.copy lsegs in
+  Array.sort Lseg.compare_key arr;
+  { root = build_rec arr 0 (Array.length arr - 1) }
+
+let query t (q : Lseg.query) ~f =
+  let lo = ref None and hi = ref None in
+  let pruned (n : node) =
+    (match !lo with Some w -> Lseg.compare_key n.kmax w <= 0 | None -> false)
+    || match !hi with Some w -> Lseg.compare_key n.kmin w >= 0 | None -> false
+  in
+  let scan (s : Lseg.t) =
+    if Lseg.reaches s q.uq then begin
+      let cv = Lseg.cross_v s q.uq in
+      if cv < q.vlo then (
+        match !lo with
+        | Some w when Lseg.compare_key w s >= 0 -> ()
+        | _ -> lo := Some s)
+      else if cv > q.vhi then (
+        match !hi with
+        | Some w when Lseg.compare_key w s <= 0 -> ()
+        | _ -> hi := Some s)
+      else f s
+    end
+  in
+  let rec visit = function
+    | None -> ()
+    | Some n ->
+        if n.seg.Lseg.far_u >= q.uq && not (pruned n) then begin
+          scan n.seg;
+          visit n.left;
+          visit n.right
+        end
+  in
+  visit t.root
+
+let query_list t q =
+  let acc = ref [] in
+  query t q ~f:(fun s -> acc := s :: !acc);
+  !acc
+
+let check_invariants t =
+  let ok = ref true in
+  let rec go lo hi = function
+    | None -> 0
+    | Some n ->
+        (match lo with
+        | Some b -> if Lseg.compare_key n.kmin b < 0 then ok := false
+        | None -> ());
+        (match hi with
+        | Some b -> if Lseg.compare_key n.kmax b > 0 then ok := false
+        | None -> ());
+        let heap_ok child =
+          match child with
+          | Some c -> if Lseg.compare_far_u c.seg n.seg > 0 then ok := false
+          | None -> ()
+        in
+        heap_ok n.left;
+        heap_ok n.right;
+        let cl = go lo hi n.left and cr = go lo hi n.right in
+        if cl + cr + 1 <> n.count then ok := false;
+        n.count
+  in
+  ignore (go None None t.root);
+  !ok

@@ -1,0 +1,21 @@
+open Segdb_geom
+
+(** Internal-memory priority search tree over line-based segments — the
+    McCreight-style one-segment-per-node structure the paper's Section 2
+    externalizes (reference [14], used by [5]).
+
+    Static build in O(n log n); a query segment parallel to the base
+    line is answered in O(log n + t) by the same witness-pruned
+    traversal the external PST uses, shrunk to single-segment nodes. *)
+
+type t
+
+val build : Lseg.t array -> t
+
+val size : t -> int
+val height : t -> int
+
+val query : t -> Lseg.query -> f:(Lseg.t -> unit) -> unit
+val query_list : t -> Lseg.query -> Lseg.t list
+
+val check_invariants : t -> bool

@@ -1,0 +1,146 @@
+open Segdb_geom
+
+type node = {
+  xb : float; (* the node's vertical line *)
+  collinear : Segment.t array; (* vertical segments on the line, by min_y *)
+  lpst : Internal_pst.t; (* left parts of crossing segments *)
+  rpst : Internal_pst.t;
+  left : node option;
+  right : node option;
+  count : int;
+}
+
+type t = { root : node option; by_id : (int, Segment.t) Hashtbl.t }
+
+let size t = match t.root with Some n -> n.count | None -> 0
+
+let rec height_rec = function
+  | None -> 0
+  | Some n -> 1 + max (height_rec n.left) (height_rec n.right)
+
+let height t = height_rec t.root
+
+let on_line xb (s : Segment.t) = Segment.is_vertical s && s.x1 = xb
+let crosses_line xb (s : Segment.t) = Segment.spans_x s xb && not (on_line xb s)
+
+let median_endpoint_x (segs : Segment.t list) =
+  let xs = List.concat_map (fun (s : Segment.t) -> [ s.Segment.x1; s.Segment.x2 ]) segs in
+  let xs = List.sort compare xs in
+  List.nth xs (List.length xs / 2)
+
+let rec build_rec (segs : Segment.t list) : node option =
+  match segs with
+  | [] -> None
+  | _ ->
+      let xb = median_endpoint_x segs in
+      let here, lefts, rights =
+        List.fold_left
+          (fun (h, l, r) (s : Segment.t) ->
+            if on_line xb s || crosses_line xb s then (s :: h, l, r)
+            else if s.x2 < xb then (h, s :: l, r)
+            else (h, l, s :: r))
+          ([], [], []) segs
+      in
+      (* the median is an endpoint of some segment, so [here] is never
+         empty and both sides strictly shrink *)
+      assert (here <> []);
+      let collinear =
+        List.filter (on_line xb) here |> List.sort (fun a b -> compare (Segment.min_y a) (Segment.min_y b))
+        |> Array.of_list
+      in
+      let crossing = List.filter (crosses_line xb) here in
+      let lpst =
+        Internal_pst.build
+          (Array.of_list (List.map (Lseg.left_of_vline ~base_x:xb) crossing))
+      in
+      let rpst =
+        Internal_pst.build
+          (Array.of_list (List.map (Lseg.right_of_vline ~base_x:xb) crossing))
+      in
+      Some
+        {
+          xb;
+          collinear;
+          lpst;
+          rpst;
+          left = build_rec lefts;
+          right = build_rec rights;
+          count = List.length segs;
+        }
+
+let build segs =
+  let by_id = Hashtbl.create (Array.length segs) in
+  Array.iter (fun (s : Segment.t) -> Hashtbl.replace by_id s.id s) segs;
+  if Hashtbl.length by_id <> Array.length segs then
+    invalid_arg "Internal_vs.build: duplicate segment ids";
+  { root = build_rec (Array.to_list segs); by_id }
+
+let query t (q : Vquery.t) ~f =
+  let seen = Hashtbl.create 16 in
+  let emit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      f (Hashtbl.find t.by_id id)
+    end
+  in
+  let emit_lseg (ls : Lseg.t) = emit ls.Lseg.id in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        if q.x = n.xb then begin
+          Array.iter
+            (fun (s : Segment.t) ->
+              if Segment.min_y s <= q.yhi && Segment.max_y s >= q.ylo then emit s.id)
+            n.collinear;
+          let lq = Lseg.query ~uq:0.0 ~vlo:q.ylo ~vhi:q.yhi in
+          Internal_pst.query n.lpst lq ~f:emit_lseg;
+          Internal_pst.query n.rpst lq ~f:emit_lseg
+        end
+        else if q.x < n.xb then begin
+          Internal_pst.query n.lpst (Lseg.query ~uq:(n.xb -. q.x) ~vlo:q.ylo ~vhi:q.yhi)
+            ~f:emit_lseg;
+          go n.left
+        end
+        else begin
+          Internal_pst.query n.rpst (Lseg.query ~uq:(q.x -. n.xb) ~vlo:q.ylo ~vhi:q.yhi)
+            ~f:emit_lseg;
+          go n.right
+        end
+  in
+  go t.root
+
+let query_ids t q =
+  let acc = ref [] in
+  query t q ~f:(fun s -> acc := s.Segment.id :: !acc);
+  List.sort compare !acc
+
+let check_invariants t =
+  let ok = ref true in
+  let seen = Hashtbl.create 64 in
+  let rec go lo hi = function
+    | None -> 0
+    | Some n ->
+        (match lo with Some b -> if n.xb <= b then ok := false | None -> ());
+        (match hi with Some b -> if n.xb >= b then ok := false | None -> ());
+        if not (Internal_pst.check_invariants n.lpst) then ok := false;
+        if not (Internal_pst.check_invariants n.rpst) then ok := false;
+        if Internal_pst.size n.lpst <> Internal_pst.size n.rpst then ok := false;
+        Array.iter
+          (fun s ->
+            if Hashtbl.mem seen s.Segment.id then ok := false
+            else Hashtbl.add seen s.Segment.id ();
+            if not (on_line n.xb s) then ok := false)
+          n.collinear;
+        Internal_pst.query n.lpst
+          (Lseg.query ~uq:0.0 ~vlo:neg_infinity ~vhi:infinity)
+          ~f:(fun ls ->
+            if Hashtbl.mem seen ls.Lseg.id then ok := false
+            else Hashtbl.add seen ls.Lseg.id ());
+        let cl = go lo (Some n.xb) n.left and cr = go (Some n.xb) hi n.right in
+        let here = Array.length n.collinear + Internal_pst.size n.lpst in
+        if here + cl + cr <> n.count then ok := false;
+        n.count
+  in
+  let total = go None None t.root in
+  if total <> Hashtbl.length t.by_id then ok := false;
+  !ok

@@ -1,0 +1,25 @@
+open Segdb_geom
+
+(** Internal-memory VS-query structure — the paper's reference [5]
+    shape: an interval tree over x-extents whose nodes carry two
+    priority search trees over the left and right parts of the segments
+    crossing the node's line. Queries cost O(log² N + T) comparisons,
+    the bound the paper's introduction quotes for in-core solutions.
+
+    Exists as (a) the in-core baseline of experiment E15b and (b) an
+    independent second implementation cross-checking the external
+    solutions in the test suite. Static. *)
+
+type t
+
+val build : Segment.t array -> t
+
+val size : t -> int
+val height : t -> int
+
+val query : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+(** Each intersecting segment exactly once. *)
+
+val query_ids : t -> Vquery.t -> int list
+
+val check_invariants : t -> bool

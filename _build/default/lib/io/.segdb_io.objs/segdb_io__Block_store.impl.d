@@ -1,0 +1,1 @@
+lib/io/block_store.ml: Hashtbl Io_stats Lru Printf

@@ -1,0 +1,1 @@
+lib/io/block_store.mli: Io_stats

@@ -1,0 +1,1 @@
+lib/io/ext_sort.ml: Array Block_store Fun List

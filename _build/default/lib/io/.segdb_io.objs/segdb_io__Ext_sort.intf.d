@@ -1,0 +1,1 @@
+lib/io/ext_sort.mli: Block_store Io_stats

@@ -1,0 +1,1 @@
+lib/io/io_stats.ml: Format

@@ -1,0 +1,1 @@
+lib/io/lru.ml: Hashtbl

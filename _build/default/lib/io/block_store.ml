@@ -1,0 +1,119 @@
+type addr = int
+
+let null = 0
+
+module Pool = struct
+  type entry = { evict : unit -> unit }
+
+  type t = { lru : entry Lru.t; mutable next_addr : int }
+
+  let create ~capacity = { lru = Lru.create ~capacity; next_addr = 1 }
+
+  let capacity t = Lru.capacity t.lru
+  let resident t = Lru.length t.lru
+
+  let touch t a = ignore (Lru.find t.lru a)
+
+  let insert t a entry =
+    Lru.put t.lru a entry ~on_evict:(fun _ e -> e.evict ())
+
+  let forget t a = ignore (Lru.remove t.lru a)
+end
+
+module Make (P : sig
+  type t
+end) =
+struct
+  type frame = { mutable payload : P.t; mutable dirty : bool }
+
+  type t = {
+    name : string;
+    pool : Pool.t;
+    io : Io_stats.t;
+    disk : (addr, P.t) Hashtbl.t; (* contents of non-resident blocks *)
+    cache : (addr, frame) Hashtbl.t; (* resident blocks of this store *)
+    live : (addr, unit) Hashtbl.t;
+  }
+
+  let create ?(name = "store") ~pool ~stats () =
+    {
+      name;
+      pool;
+      io = stats;
+      disk = Hashtbl.create 1024;
+      cache = Hashtbl.create 64;
+      live = Hashtbl.create 1024;
+    }
+
+  let evict t a =
+    match Hashtbl.find_opt t.cache a with
+    | None -> ()
+    | Some frame ->
+        Hashtbl.remove t.cache a;
+        if frame.dirty then Io_stats.record_write t.io;
+        Hashtbl.replace t.disk a frame.payload
+
+  let make_resident t a frame =
+    Hashtbl.replace t.cache a frame;
+    Pool.insert t.pool a { Pool.evict = (fun () -> evict t a) }
+
+  let alloc t payload =
+    let a = t.pool.Pool.next_addr in
+    t.pool.Pool.next_addr <- a + 1;
+    Io_stats.record_alloc t.io;
+    Hashtbl.replace t.live a ();
+    make_resident t a { payload; dirty = true };
+    a
+
+  let fail_unknown t a =
+    invalid_arg (Printf.sprintf "Block_store(%s): unknown or freed address %d" t.name a)
+
+  let read t a =
+    match Hashtbl.find_opt t.cache a with
+    | Some frame ->
+        Pool.touch t.pool a;
+        frame.payload
+    | None -> (
+        match Hashtbl.find_opt t.disk a with
+        | Some payload ->
+            Io_stats.record_read t.io;
+            Hashtbl.remove t.disk a;
+            make_resident t a { payload; dirty = false };
+            payload
+        | None -> fail_unknown t a)
+
+  let write t a payload =
+    if not (Hashtbl.mem t.live a) then fail_unknown t a;
+    match Hashtbl.find_opt t.cache a with
+    | Some frame ->
+        frame.payload <- payload;
+        frame.dirty <- true;
+        Pool.touch t.pool a
+    | None ->
+        (* Full-block overwrite: the old contents are not needed, so no
+           read is charged; the write is charged at eviction/flush. *)
+        Hashtbl.remove t.disk a;
+        make_resident t a { payload; dirty = true }
+
+  let free t a =
+    if not (Hashtbl.mem t.live a) then fail_unknown t a;
+    Hashtbl.remove t.live a;
+    Hashtbl.remove t.disk a;
+    if Hashtbl.mem t.cache a then begin
+      Hashtbl.remove t.cache a;
+      Pool.forget t.pool a
+    end
+
+  let flush t =
+    Hashtbl.iter
+      (fun _ frame ->
+        if frame.dirty then begin
+          Io_stats.record_write t.io;
+          frame.dirty <- false
+        end)
+      t.cache
+
+  let block_count t = Hashtbl.length t.live
+
+  let stats t = t.io
+end

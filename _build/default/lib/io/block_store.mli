@@ -1,0 +1,66 @@
+(** Simulated secondary storage.
+
+    A block store holds typed blocks addressed by integers. A bounded LRU
+    buffer pool sits in front of a simulated disk (a hash table): reading
+    a non-resident block charges one read I/O, evicting or flushing a
+    dirty block charges one write I/O. Resident accesses are free, exactly
+    matching the external-memory model the paper's bounds are stated in.
+
+    All structures of one index share a single {!Io_stats.t} so that an
+    index's total cost is observable at one place, and they may share a
+    single buffer [pool] so that the memory budget is honest across
+    sub-structures. *)
+
+type addr = int
+
+val null : addr
+(** An address never returned by [alloc]; usable as a sentinel. *)
+
+(** Shared buffer pool: a capacity in blocks, common to every store
+    attached to it. *)
+module Pool : sig
+  type t
+
+  val create : capacity:int -> t
+  (** [capacity] is the number of resident blocks across all attached
+      stores. *)
+
+  val capacity : t -> int
+  val resident : t -> int
+end
+
+module Make (P : sig
+  type t
+end) : sig
+  type t
+
+  val create : ?name:string -> pool:Pool.t -> stats:Io_stats.t -> unit -> t
+  (** A store of blocks with payload [P.t] backed by [pool] and charging
+      I/Os to [stats]. *)
+
+  val alloc : t -> P.t -> addr
+  (** Allocates a fresh block, resident and dirty. Charges an alloc (not
+      a transfer). *)
+
+  val read : t -> addr -> P.t
+  (** Fetches the block, charging one read on a pool miss.
+      Raises [Invalid_argument] on a freed or unknown address. *)
+
+  val write : t -> addr -> P.t -> unit
+  (** Replaces the block's payload, marking it dirty. Charges one read on
+      a pool miss? No — overwriting does not need the old contents, so a
+      miss charges nothing at write time; the dirty page is charged one
+      write when evicted or flushed. *)
+
+  val free : t -> addr -> unit
+  (** Discards the block without write-back. *)
+
+  val flush : t -> unit
+  (** Writes back all dirty resident blocks of this store. *)
+
+  val block_count : t -> int
+  (** Number of live (allocated, not freed) blocks: the structure's space
+      in blocks. *)
+
+  val stats : t -> Io_stats.t
+end

@@ -1,0 +1,139 @@
+module Make (E : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  module Store = Block_store.Make (struct
+    type t = E.t array
+  end)
+
+  (* a run is the list of its block addresses, in order *)
+  type run = Block_store.addr list
+
+  let passes ~block ~memory_blocks n =
+    if n <= block * memory_blocks then 0
+    else begin
+      let runs0 = (n + (block * memory_blocks) - 1) / (block * memory_blocks) in
+      let k = memory_blocks - 1 in
+      let rec go runs acc = if runs <= 1 then acc else go ((runs + k - 1) / k) (acc + 1) in
+      go runs0 0
+    end
+
+  let sort ~pool ~stats ?(block = 64) ?(memory_blocks = 8) (input : E.t array) =
+    if memory_blocks < 3 then invalid_arg "Ext_sort.sort: memory_blocks must be >= 3";
+    if block < 1 then invalid_arg "Ext_sort.sort: block must be >= 1";
+    let store = Store.create ~name:"extsort" ~pool ~stats () in
+    let n = Array.length input in
+    let write_run (items : E.t list) : run =
+      (* stream items out in block-sized chunks *)
+      let rec chunks acc = function
+        | [] -> List.rev acc
+        | items ->
+            let rec take k xs acc =
+              match (k, xs) with
+              | 0, _ | _, [] -> (List.rev acc, xs)
+              | k, x :: rest -> take (k - 1) rest (x :: acc)
+            in
+            let chunk, rest = take block items [] in
+            chunks (Store.alloc store (Array.of_list chunk) :: acc) rest
+      in
+      chunks [] items
+    in
+    (* 1. run formation: memory_blocks * block items at a time *)
+    let run_span = memory_blocks * block in
+    let runs = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let len = min run_span (n - !i) in
+      let chunk = Array.sub input !i len in
+      Array.stable_sort E.compare chunk;
+      runs := write_run (Array.to_list chunk) :: !runs;
+      i := !i + len
+    done;
+    let runs = List.rev !runs in
+    (* 2. k-way merge passes *)
+    let merge (group : run list) : run =
+      (* one open block per input run *)
+      let cursors =
+        group
+        |> List.map (fun r ->
+               match r with
+               | [] -> None
+               | a :: rest -> Some (ref (Store.read store a), ref 0, ref rest, ref a))
+        |> List.filter_map Fun.id
+      in
+      let out = ref [] and out_len = ref 0 and out_blocks = ref [] in
+      let flush () =
+        if !out <> [] then begin
+          out_blocks := Store.alloc store (Array.of_list (List.rev !out)) :: !out_blocks;
+          out := [];
+          out_len := 0
+        end
+      in
+      let live = ref cursors in
+      while !live <> [] do
+        (* smallest head among open blocks; stability via list order *)
+        let best = ref None in
+        List.iter
+          (fun ((buf, pos, _, _) as cur) ->
+            let v = !buf.(!pos) in
+            match !best with
+            | Some (_, bv) when E.compare bv v <= 0 -> ()
+            | _ -> best := Some (cur, v))
+          !live;
+        (match !best with
+        | None -> ()
+        | Some ((buf, pos, rest, addr), v) ->
+            out := v :: !out;
+            incr out_len;
+            if !out_len = block then flush ();
+            incr pos;
+            if !pos >= Array.length !buf then begin
+              Store.free store !addr;
+              match !rest with
+              | a :: more ->
+                  buf := Store.read store a;
+                  addr := a;
+                  pos := 0;
+                  rest := more
+              | [] ->
+                  live :=
+                    List.filter (fun (_, _, _, a') -> a' != addr) !live
+            end)
+      done;
+      flush ();
+      List.rev !out_blocks
+    in
+    let k = memory_blocks - 1 in
+    let rec merge_level (runs : run list) =
+      match runs with
+      | [] -> []
+      | [ r ] -> r
+      | _ ->
+          let rec group acc cur cnt = function
+            | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+            | r :: rest ->
+                if cnt = k then group (List.rev cur :: acc) [ r ] 1 rest
+                else group acc (r :: cur) (cnt + 1) rest
+          in
+          let groups = group [] [] 0 runs in
+          merge_level (List.map merge groups)
+    in
+    let final = merge_level runs in
+    (* 3. read the result back *)
+    if n = 0 then [||]
+    else begin
+    let out = Array.make n input.(0) in
+    let j = ref 0 in
+    List.iter
+      (fun a ->
+        let blk = Store.read store a in
+        Array.blit blk 0 out !j (Array.length blk);
+        j := !j + Array.length blk;
+        Store.free store a)
+      final;
+    assert (!j = n);
+    out
+    end
+end

@@ -1,0 +1,33 @@
+(** External merge sort in the I/O model.
+
+    The classical EM sorting bound O((n/B) log_{M/B} (n/B)) is the
+    construction-cost floor for every bulk-loaded structure in this
+    repository (the paper's builds implicitly sort endpoints). This
+    module runs the textbook algorithm against the simulated disk so
+    the cost is *measured*, not assumed: input blocks are written out,
+    runs of [memory_blocks] blocks are formed in the workspace, and
+    (memory_blocks - 1)-way merge passes stream blocks through it.
+
+    Experiment E16 validates the pass structure; index builds quote it
+    as their sorting component. *)
+
+module Make (E : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  val sort :
+    pool:Block_store.Pool.t ->
+    stats:Io_stats.t ->
+    ?block:int ->
+    ?memory_blocks:int ->
+    E.t array ->
+    E.t array
+  (** [block] items per block (default 64); [memory_blocks] workspace
+      blocks (default 8, so 7-way merges). The sort is stable. Raises
+      [Invalid_argument] if [memory_blocks < 3]. *)
+
+  val passes : block:int -> memory_blocks:int -> int -> int
+  (** Predicted number of merge passes for [n] items — the
+      log_{M/B}(n/M) term; for tests and E16. *)
+end

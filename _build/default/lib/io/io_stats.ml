@@ -1,0 +1,33 @@
+type snapshot = { reads : int; writes : int; allocs : int }
+
+type t = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+let create () = { reads = 0; writes = 0; allocs = 0 }
+
+let record_read t = t.reads <- t.reads + 1
+let record_write t = t.writes <- t.writes + 1
+let record_alloc t = t.allocs <- t.allocs + 1
+
+let reads t = t.reads
+let writes t = t.writes
+let allocs t = t.allocs
+let total_io t = t.reads + t.writes
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.allocs <- 0
+
+let snapshot t : snapshot = { reads = t.reads; writes = t.writes; allocs = t.allocs }
+
+let diff (before : snapshot) (after : snapshot) : snapshot =
+  {
+    reads = after.reads - before.reads;
+    writes = after.writes - before.writes;
+    allocs = after.allocs - before.allocs;
+  }
+
+let snapshot_total (s : snapshot) = s.reads + s.writes
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d" t.reads t.writes t.allocs

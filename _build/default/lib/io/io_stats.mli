@@ -1,0 +1,40 @@
+(** I/O accounting for the simulated disk.
+
+    The paper's cost model counts transfers of [B]-item blocks between
+    secondary storage and memory. Every {!Block_store} charges its cache
+    misses and dirty write-backs to one of these counters; experiments
+    snapshot the counter around an operation to obtain its I/O cost. *)
+
+type t
+
+type snapshot = { reads : int; writes : int; allocs : int }
+
+val create : unit -> t
+
+val record_read : t -> unit
+val record_write : t -> unit
+val record_alloc : t -> unit
+
+val reads : t -> int
+(** Blocks fetched from disk (buffer-pool misses). *)
+
+val writes : t -> int
+(** Blocks written back to disk (dirty evictions and flushes). *)
+
+val allocs : t -> int
+(** Blocks ever allocated; allocation itself is not charged as a
+    transfer. *)
+
+val total_io : t -> int
+(** [reads + writes]. *)
+
+val reset : t -> unit
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] is the per-counter difference. *)
+
+val snapshot_total : snapshot -> int
+
+val pp : Format.formatter -> t -> unit

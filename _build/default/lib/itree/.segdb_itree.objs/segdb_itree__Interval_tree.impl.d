@@ -1,0 +1,1 @@
+lib/itree/interval_tree.ml: Array Block_store Hashtbl Int Io_stats List Map Segdb_btree Segdb_geom Segdb_io Segment

@@ -1,0 +1,445 @@
+open Segdb_io
+open Segdb_geom
+
+type ivl = { lo : float; hi : float; seg : Segment.t }
+
+(* Keys for the slab lists: (coordinate, id) so equal coordinates stay
+   distinct. Right lists are keyed by (-hi, id) so that an ascending
+   scan sees decreasing hi. *)
+module FKey = struct
+  type t = float * int
+
+  let compare (a : t) (b : t) = compare a b
+end
+
+module Blist = Segdb_btree.Bplus_tree.Make (FKey) (struct
+  type t = ivl
+end)
+
+module Mids = Map.Make (Int)
+
+type node =
+  | Leaf of ivl array
+  | Inner of {
+      seps : float array; (* fanout-1 slab boundaries, ascending *)
+      kids : Block_store.addr array; (* fanout children, null allowed *)
+      lefts : Blist.t option array; (* per slab, keyed (lo, id) *)
+      rights : Blist.t option array; (* per slab, keyed (-hi, id) *)
+      mids : Blist.t Mids.t; (* multislab lists, key = i * fanout + j *)
+    }
+
+module Store = Block_store.Make (struct
+  type t = node
+end)
+
+type t = {
+  store : Store.t;
+  pool : Block_store.Pool.t;
+  io : Io_stats.t;
+  fanout : int;
+  leaf_cap : int;
+  starts : Blist.t; (* every interval, keyed (lo, id): size, iteration,
+                       rebuild collection, and overlap range scans *)
+  mutable root : Block_store.addr;
+  mutable built_size : int; (* size at the last backbone (re)build *)
+}
+
+let size t = Blist.size t.starts
+
+let list_fanout t = max 8 t.leaf_cap
+
+let new_list t = Blist.create ~fanout:(list_fanout t) ~pool:t.pool ~stats:t.io ()
+
+(* Number of separators <= x: the slab index of x. *)
+let slab_of seps x =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if seps.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mid_key t i j = (i * t.fanout) + j
+
+(* ---------------- construction ---------------- *)
+
+(* Quantile boundaries over the multiset of endpoints of [ivls]. *)
+let boundaries fanout ivls =
+  let pts = Array.make (2 * Array.length ivls) 0.0 in
+  Array.iteri
+    (fun i iv ->
+      pts.(2 * i) <- iv.lo;
+      pts.((2 * i) + 1) <- iv.hi)
+    ivls;
+  Array.sort compare pts;
+  let m = Array.length pts in
+  Array.init (fanout - 1) (fun i ->
+      let idx = (i + 1) * m / fanout in
+      pts.(min idx (m - 1)))
+
+let rec build_rec t (ivls : ivl array) : Block_store.addr =
+  let m = Array.length ivls in
+  if m = 0 then Block_store.null
+  else if m <= t.leaf_cap then Store.alloc t.store (Leaf ivls)
+  else begin
+    let seps = boundaries t.fanout ivls in
+    let here = ref [] in
+    let below = Array.make t.fanout [] in
+    Array.iter
+      (fun iv ->
+        let sl = slab_of seps iv.lo and sh = slab_of seps iv.hi in
+        if sl <> sh then here := iv :: !here else below.(sl) <- iv :: below.(sl))
+      ivls;
+    (* Degenerate value distribution: quantiles failed to separate
+       anything; fall back to an oversized leaf. *)
+    if Array.exists (fun l -> List.length l = m) below then Store.alloc t.store (Leaf ivls)
+    else begin
+      let lefts = Array.make t.fanout None and rights = Array.make t.fanout None in
+      let mids = ref Mids.empty in
+      let get_left k =
+        match lefts.(k) with
+        | Some l -> l
+        | None ->
+            let l = new_list t in
+            lefts.(k) <- Some l;
+            l
+      and get_right k =
+        match rights.(k) with
+        | Some l -> l
+        | None ->
+            let l = new_list t in
+            rights.(k) <- Some l;
+            l
+      and get_mid i j =
+        match Mids.find_opt (mid_key t i j) !mids with
+        | Some l -> l
+        | None ->
+            let l = new_list t in
+            mids := Mids.add (mid_key t i j) l !mids;
+            l
+      in
+      List.iter
+        (fun iv ->
+          let sl = slab_of seps iv.lo and sh = slab_of seps iv.hi in
+          Blist.insert (get_left sl) (iv.lo, iv.seg.Segment.id) iv;
+          Blist.insert (get_right sh) (-.iv.hi, iv.seg.Segment.id) iv;
+          if sh > sl + 1 then Blist.insert (get_mid (sl + 1) (sh - 1)) (iv.lo, iv.seg.Segment.id) iv)
+        !here;
+      let kids = Array.map (fun l -> build_rec t (Array.of_list l)) below in
+      Store.alloc t.store (Inner { seps; kids; lefts; rights; mids = !mids })
+    end
+  end
+
+let build ?(fanout = 8) ?(leaf_capacity = 64) ~pool ~stats ivls =
+  if fanout < 2 then invalid_arg "Interval_tree.build: fanout must be >= 2";
+  if leaf_capacity < 1 then invalid_arg "Interval_tree.build: leaf_capacity must be >= 1";
+  Array.iter
+    (fun iv -> if iv.lo > iv.hi then invalid_arg "Interval_tree.build: interval with lo > hi")
+    ivls;
+  let store = Store.create ~name:"itree" ~pool ~stats () in
+  let starts = Blist.create ~fanout:(max 8 leaf_capacity) ~pool ~stats () in
+  let t =
+    {
+      store;
+      pool;
+      io = stats;
+      fanout;
+      leaf_cap = leaf_capacity;
+      starts;
+      root = Block_store.null;
+      built_size = Array.length ivls;
+    }
+  in
+  Array.iter (fun iv -> Blist.insert t.starts (iv.lo, iv.seg.Segment.id) iv) ivls;
+  t.root <- build_rec t (Array.copy ivls);
+  t
+
+(* ---------------- queries ---------------- *)
+
+let scan_list_while list ~stop ~f =
+  match list with
+  | None -> ()
+  | Some l ->
+      Blist.iter_from l (neg_infinity, min_int) (fun _ iv ->
+          if stop iv then `Stop
+          else begin
+            f iv;
+            `Continue
+          end)
+
+let report_all list ~f =
+  match list with
+  | None -> ()
+  | Some l -> Blist.iter_range l ~lo:None ~hi:None (fun _ iv -> f iv)
+
+let rec stab_rec t addr x ~f =
+  if addr <> Block_store.null then
+    match Store.read t.store addr with
+    | Leaf ivls -> Array.iter (fun iv -> if iv.lo <= x && x <= iv.hi then f iv) ivls
+    | Inner { seps; kids; lefts; rights; mids } ->
+        let k = slab_of seps x in
+        (* left list k: intervals starting in slab k and leaving it
+           rightward; they contain x iff lo <= x *)
+        scan_list_while lefts.(k) ~stop:(fun iv -> iv.lo > x) ~f;
+        (* right list k: intervals ending in slab k, coming from the
+           left; they contain x iff hi >= x *)
+        scan_list_while rights.(k) ~stop:(fun iv -> iv.hi < x) ~f;
+        (* multislab lists fully covering slab k *)
+        Mids.iter
+          (fun key l ->
+            let i = key / t.fanout and j = key mod t.fanout in
+            if i <= k && k <= j then report_all (Some l) ~f)
+          mids;
+        stab_rec t kids.(k) x ~f
+
+let stab t x ~f = stab_rec t t.root x ~f
+
+let overlap t ~lo ~hi ~f =
+  if lo > hi then invalid_arg "Interval_tree.overlap: lo > hi";
+  stab t lo ~f;
+  (* intervals starting strictly inside (lo, hi] overlap but do not
+     contain lo *)
+  Blist.iter_from t.starts (lo, max_int) (fun (start, _) iv ->
+      if start > hi then `Stop
+      else begin
+        f iv;
+        `Continue
+      end)
+
+let stab_list t x =
+  let acc = ref [] in
+  stab t x ~f:(fun iv -> acc := iv :: !acc);
+  !acc
+
+let overlap_list t ~lo ~hi =
+  let acc = ref [] in
+  overlap t ~lo ~hi ~f:(fun iv -> acc := iv :: !acc);
+  !acc
+
+let iter t f = Blist.iter_range t.starts ~lo:None ~hi:None (fun _ iv -> f iv)
+
+(* ---------------- insertion ---------------- *)
+
+let rec free_rec t addr =
+  if addr <> Block_store.null then begin
+    (match Store.read t.store addr with
+    | Leaf _ -> ()
+    | Inner { kids; _ } -> Array.iter (free_rec t) kids);
+    Store.free t.store addr
+  end
+
+let rebuild t =
+  let acc = ref [] in
+  iter t (fun iv -> acc := iv :: !acc);
+  free_rec t t.root;
+  let arr = Array.of_list !acc in
+  t.root <- build_rec t arr;
+  t.built_size <- Array.length arr
+
+let rec insert_rec t addr (iv : ivl) : Block_store.addr =
+  if addr = Block_store.null then Store.alloc t.store (Leaf [| iv |])
+  else
+    match Store.read t.store addr with
+    | Leaf ivls ->
+        let ivls = Array.append ivls [| iv |] in
+        if Array.length ivls <= t.leaf_cap then begin
+          Store.write t.store addr (Leaf ivls);
+          addr
+        end
+        else begin
+          (* split the leaf by rebuilding it as a subtree *)
+          Store.free t.store addr;
+          build_rec t ivls
+        end
+    | Inner ({ seps; kids; lefts; rights; mids } as n) ->
+        let sl = slab_of seps iv.lo and sh = slab_of seps iv.hi in
+        if sl <> sh then begin
+          let dirty = ref false in
+          (* list creation works on copies so the node payload is
+             replaced atomically by the write-back below *)
+          let lefts = Array.copy lefts and rights = Array.copy rights in
+          let mids = ref mids in
+          let get arr slot =
+            match arr.(slot) with
+            | Some l -> l
+            | None ->
+                let l = new_list t in
+                arr.(slot) <- Some l;
+                dirty := true;
+                l
+          in
+          let get_mid i j =
+            match Mids.find_opt (mid_key t i j) !mids with
+            | Some l -> l
+            | None ->
+                let l = new_list t in
+                mids := Mids.add (mid_key t i j) l !mids;
+                dirty := true;
+                l
+          in
+          Blist.insert (get lefts sl) (iv.lo, iv.seg.Segment.id) iv;
+          Blist.insert (get rights sh) (-.iv.hi, iv.seg.Segment.id) iv;
+          if sh > sl + 1 then
+            Blist.insert (get_mid (sl + 1) (sh - 1)) (iv.lo, iv.seg.Segment.id) iv;
+          if !dirty then Store.write t.store addr (Inner { n with lefts; rights; mids = !mids });
+          addr
+        end
+        else begin
+          let kid = insert_rec t kids.(sl) iv in
+          if kid <> kids.(sl) then begin
+            let kids = Array.copy kids in
+            kids.(sl) <- kid;
+            Store.write t.store addr (Inner { n with kids })
+          end;
+          addr
+        end
+
+let insert t iv =
+  if iv.lo > iv.hi then invalid_arg "Interval_tree.insert: interval with lo > hi";
+  Blist.insert t.starts (iv.lo, iv.seg.Segment.id) iv;
+  t.root <- insert_rec t t.root iv;
+  (* doubling rebuild keeps the backbone balanced without a
+     weight-balanced B-tree (see DESIGN.md) *)
+  if size t > (2 * t.built_size) + t.leaf_cap then rebuild t
+
+(* ---------------- metrics / invariants ---------------- *)
+
+let rec height_rec t addr =
+  if addr = Block_store.null then 0
+  else
+    match Store.read t.store addr with
+    | Leaf _ -> 1
+    | Inner { kids; _ } -> 1 + Array.fold_left (fun acc k -> max acc (height_rec t k)) 0 kids
+
+let height t = height_rec t t.root
+
+let rec blocks_rec t addr =
+  if addr = Block_store.null then 0
+  else
+    match Store.read t.store addr with
+    | Leaf _ -> 1
+    | Inner { kids; lefts; rights; mids; _ } ->
+        let lists =
+          Array.fold_left
+            (fun acc l -> match l with Some b -> acc + Blist.block_count b | None -> acc)
+            0 lefts
+          + Array.fold_left
+              (fun acc l -> match l with Some b -> acc + Blist.block_count b | None -> acc)
+              0 rights
+          + Mids.fold (fun _ b acc -> acc + Blist.block_count b) mids 0
+        in
+        1 + lists + Array.fold_left (fun acc k -> acc + blocks_rec t k) 0 kids
+
+let block_count t = blocks_rec t t.root + Blist.block_count t.starts
+
+let check_invariants t =
+  let ok = ref true in
+  let fail () = ok := false in
+  let seen = ref 0 in
+  let rec go addr ~lo ~hi =
+    if addr <> Block_store.null then
+      match Store.read t.store addr with
+      | Leaf ivls ->
+          seen := !seen + Array.length ivls;
+          Array.iter
+            (fun iv ->
+              if iv.lo > iv.hi then fail ();
+              (match lo with Some b -> if iv.lo < b then fail () | None -> ());
+              match hi with Some b -> if iv.hi > b then fail () | None -> ())
+            ivls
+      | Inner { seps; kids; lefts; rights; mids } ->
+          for i = 1 to Array.length seps - 1 do
+            if seps.(i - 1) > seps.(i) then fail ()
+          done;
+          let in_lists = Hashtbl.create 16 in
+          Array.iteri
+            (fun k l ->
+              match l with
+              | None -> ()
+              | Some b ->
+                  if not (Blist.check_invariants b) then fail ();
+                  Blist.iter_range b ~lo:None ~hi:None (fun _ iv ->
+                      if slab_of seps iv.lo <> k then fail ();
+                      if slab_of seps iv.hi = k then fail ();
+                      Hashtbl.replace in_lists iv.seg.Segment.id ()))
+            lefts;
+          let right_count = ref 0 in
+          Array.iteri
+            (fun k l ->
+              match l with
+              | None -> ()
+              | Some b ->
+                  Blist.iter_range b ~lo:None ~hi:None (fun _ iv ->
+                      incr right_count;
+                      if slab_of seps iv.hi <> k then fail ();
+                      if not (Hashtbl.mem in_lists iv.seg.Segment.id) then fail ()))
+            rights;
+          if Hashtbl.length in_lists <> !right_count then fail ();
+          Mids.iter
+            (fun key b ->
+              let i = key / t.fanout and j = key mod t.fanout in
+              if not (i <= j && i >= 1 && j <= t.fanout - 1) then fail ();
+              Blist.iter_range b ~lo:None ~hi:None (fun _ iv ->
+                  if slab_of seps iv.lo + 1 <> i || slab_of seps iv.hi - 1 <> j then fail ();
+                  if not (Hashtbl.mem in_lists iv.seg.Segment.id) then fail ()))
+            mids;
+          seen := !seen + Hashtbl.length in_lists;
+          Array.iteri
+            (fun k kid ->
+              let klo = if k = 0 then None else Some seps.(k - 1) in
+              let khi = if k = Array.length seps then None else Some seps.(k) in
+              ignore khi;
+              (* children hold intervals whose both endpoints fall in
+                 slab k; bounds via slab recomputation instead of
+                 open/closed fiddling *)
+              go kid ~lo:klo ~hi:(if k = Array.length seps then None else Some seps.(k)))
+            kids
+  in
+  go t.root ~lo:None ~hi:None;
+  if !seen <> size t then fail ();
+  !ok
+
+(* ---------------- deletion ---------------- *)
+
+let delete t (iv : ivl) =
+  let key = (iv.lo, iv.seg.Segment.id) in
+  if not (Blist.delete t.starts key) then false
+  else begin
+    let rec del addr =
+      if addr = Block_store.null then false
+      else
+        match Store.read t.store addr with
+        | Leaf ivls -> (
+            match
+              Array.find_index
+                (fun c -> c.seg.Segment.id = iv.seg.Segment.id && c.lo = iv.lo && c.hi = iv.hi)
+                ivls
+            with
+            | Some i ->
+                let out = Array.make (Array.length ivls - 1) iv in
+                Array.blit ivls 0 out 0 i;
+                Array.blit ivls (i + 1) out i (Array.length ivls - 1 - i);
+                Store.write t.store addr (Leaf out);
+                true
+            | None -> false)
+        | Inner { seps; kids; lefts; rights; mids } ->
+            let sl = slab_of seps iv.lo and sh = slab_of seps iv.hi in
+            if sl <> sh then begin
+              let ok = ref true in
+              (match lefts.(sl) with
+              | Some l -> if not (Blist.delete l key) then ok := false
+              | None -> ok := false);
+              (match rights.(sh) with
+              | Some l -> if not (Blist.delete l (-.iv.hi, iv.seg.Segment.id)) then ok := false
+              | None -> ok := false);
+              if sh > sl + 1 then (
+                match Mids.find_opt (mid_key t (sl + 1) (sh - 1)) mids with
+                | Some l -> if not (Blist.delete l key) then ok := false
+                | None -> ok := false);
+              !ok
+            end
+            else del kids.(sl)
+    in
+    ignore (del t.root);
+    true
+  end

@@ -1,0 +1,71 @@
+open Segdb_io
+open Segdb_geom
+
+(** External-memory interval tree (the paper's reference [3], Arge and
+    Vitter), over 1-D closed intervals carrying plane segments.
+
+    Used three ways by the index structures:
+    - as [C(v)]: the collinear segments lying on a node's base line
+      (their y-extents are the intervals);
+    - as the stabbing-query structure whose optimality for vertical
+      *line* queries motivates the paper (Figure 1, experiment E8);
+    - the backbone idea is reused by Solution 2's first level.
+
+    Structure: an [fanout]-ary backbone balanced over endpoint
+    quantiles. A node's boundaries cut the value axis into slabs. An
+    interval whose endpoints fall in different slabs is stored at that
+    node in (a) the left list of its start slab (sorted by [lo]), (b)
+    the right list of its end slab (sorted by [hi] descending), and (c)
+    if it fully spans interior slabs, one multislab list — the
+    classical decomposition making stabbing queries output-sensitive:
+    a stab in slab [k] scans a prefix of left list [k], a prefix of
+    right list [k], and whole multislab lists covering [k]. Lists are
+    external B+-trees; with [fanout = Θ(sqrt B)] the node's O(fanout²)
+    list handles fit one block.
+
+    Insertions go to the lists in [O(log_B n)]; the backbone itself is
+    kept balanced by global doubling rebuilds (our substitute for the
+    weight-balanced B-tree, see DESIGN.md), so insertion is amortized
+    logarithmic. *)
+
+type ivl = { lo : float; hi : float; seg : Segment.t }
+(** A closed interval [\[lo, hi\]] tagged with the segment it came from.
+    [seg.id] must be unique per tree. *)
+
+type t
+
+val build :
+  ?fanout:int ->
+  ?leaf_capacity:int ->
+  pool:Block_store.Pool.t ->
+  stats:Io_stats.t ->
+  ivl array ->
+  t
+(** [fanout] (default 8) is the backbone branching; [leaf_capacity]
+    (default 64) is the paper's [B]. Raises [Invalid_argument] if some
+    [lo > hi]. *)
+
+val insert : t -> ivl -> unit
+
+val delete : t -> ivl -> bool
+(** Removes the interval (matched by [(lo, hi, seg.id)]); returns
+    whether it was present. The backbone does not shrink; doubling
+    rebuilds restore balance as the tree keeps mutating. *)
+
+val size : t -> int
+val height : t -> int
+val block_count : t -> int
+
+val stab : t -> float -> f:(ivl -> unit) -> unit
+(** All intervals containing the point, each exactly once. *)
+
+val overlap : t -> lo:float -> hi:float -> f:(ivl -> unit) -> unit
+(** All intervals meeting [\[lo, hi\]], each exactly once: a stab at
+    [lo] plus a start-point range scan over [(lo, hi]]. *)
+
+val stab_list : t -> float -> ivl list
+val overlap_list : t -> lo:float -> hi:float -> ivl list
+
+val iter : t -> (ivl -> unit) -> unit
+
+val check_invariants : t -> bool

@@ -1,0 +1,1 @@
+lib/pst/pst.ml: Array Block_store Float Io_stats List Lseg Segdb_geom Segdb_io

@@ -1,0 +1,1 @@
+lib/pst/pst.mli: Block_store Io_stats Lseg Segdb_geom Segdb_io

@@ -1,0 +1,1 @@
+lib/pst/three_sided.ml: Array Float List Lseg Pst Segdb_geom

@@ -1,0 +1,1 @@
+lib/pst/three_sided.mli: Block_store Io_stats Segdb_io

@@ -1,0 +1,35 @@
+open Segdb_io
+
+(** External priority search trees over points: 3-sided range queries.
+
+    Background structure of Section 2: the paper reduces segment queries
+    on line-based segments to (almost) 3-sided queries on the endpoint
+    set, and Figure 2 shows the two are *not* equivalent. This module
+    makes the duality executable: a point [(x, y)] is stored as the
+    degenerate vertical line-based segment with base [x] and depth [y],
+    so the 3-sided query [x1 <= x <= x2, y >= y0] is exactly an
+    {!Lseg.query} on the wrapped {!Pst} — and experiment E12 measures
+    how often the point-based answer diverges from the true segment
+    answer. *)
+
+type t
+
+val build :
+  ?node_capacity:int ->
+  ?branching:int ->
+  pool:Block_store.Pool.t ->
+  stats:Io_stats.t ->
+  (float * float) array ->
+  t
+(** Points with ids equal to their array positions. *)
+
+val size : t -> int
+val block_count : t -> int
+
+val query : t -> x1:float -> x2:float -> y:float -> f:(int -> float * float -> unit) -> unit
+(** Reports (id, point) for every point in [\[x1, x2\] × \[y, ∞)]. *)
+
+val query_ids : t -> x1:float -> x2:float -> y:float -> int list
+(** Sorted ids. *)
+
+val count : t -> x1:float -> x2:float -> y:float -> int

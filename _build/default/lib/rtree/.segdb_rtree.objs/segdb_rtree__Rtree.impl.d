@@ -1,0 +1,1 @@
+lib/rtree/rtree.ml: Array Bbox Block_store List Segdb_geom Segdb_io Segment Vquery

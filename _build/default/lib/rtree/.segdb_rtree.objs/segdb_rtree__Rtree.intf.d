@@ -1,0 +1,1 @@
+lib/rtree/rtree.mli: Block_store Io_stats Segdb_geom Segdb_io Segment Vquery

@@ -1,0 +1,1 @@
+lib/segtree/packed_list.ml: Array Block_store List Segdb_io

@@ -1,0 +1,1 @@
+lib/segtree/packed_list.mli: Block_store Io_stats Segdb_io

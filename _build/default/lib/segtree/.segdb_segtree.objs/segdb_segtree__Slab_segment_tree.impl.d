@@ -1,0 +1,1 @@
+lib/segtree/slab_segment_tree.ml: Array Block_store Hashtbl Io_stats Option Packed_list Segdb_btree Segdb_geom Segdb_io Segment

@@ -1,0 +1,1 @@
+lib/segtree/slab_segment_tree.mli: Block_store Io_stats Segdb_geom Segdb_io Segment

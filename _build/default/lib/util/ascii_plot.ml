@@ -1,0 +1,82 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 64) ?(height = 16) ?(log_x = false) ~title ~x_label ~y_label series =
+  let tx x = if log_x then log x /. log 2.0 else x in
+  let pts =
+    List.concat_map
+      (fun s ->
+        List.filter (fun (x, y) -> Float.is_finite (tx x) && Float.is_finite y) s.points)
+      series
+  in
+  if pts = [] then title ^ "\n(no data)\n"
+  else begin
+    let xs = List.map (fun (x, _) -> tx x) pts and ys = List.map snd pts in
+    let xmin = List.fold_left Float.min infinity xs
+    and xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = Float.min 0.0 (List.fold_left Float.min infinity ys)
+    and ymax = List.fold_left Float.max neg_infinity ys in
+    let ymax = if ymax = ymin then ymin +. 1.0 else ymax in
+    let xmax = if xmax = xmin then xmin +. 1.0 else xmax in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_series idx s =
+      let glyph = glyphs.(idx mod Array.length glyphs) in
+      List.iter
+        (fun (x, y) ->
+          let x = tx x in
+          if Float.is_finite x && Float.is_finite y then begin
+            let col =
+              int_of_float ((x -. xmin) /. (xmax -. xmin) *. float_of_int (width - 1))
+            in
+            let row =
+              height - 1
+              - int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- glyph
+          end)
+        s.points
+    in
+    List.iteri plot_series series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (title ^ "\n");
+    let y_axis_width = 10 in
+    Array.iteri
+      (fun r row ->
+        let yv =
+          ymax -. (float_of_int r /. float_of_int (height - 1) *. (ymax -. ymin))
+        in
+        let label =
+          if r = 0 || r = height - 1 || r = height / 2 then Printf.sprintf "%9.1f " yv
+          else String.make y_axis_width ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_char buf '|';
+        Buffer.add_string buf (String.init width (fun c -> row.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make y_axis_width ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s x: %s [%.4g .. %.4g]%s   y: %s\n"
+         (String.make y_axis_width ' ')
+         x_label
+         (if log_x then Float.pow 2.0 xmin else xmin)
+         (if log_x then Float.pow 2.0 xmax else xmax)
+         (if log_x then " (log scale)" else "")
+         y_label);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %c = %s\n"
+             (String.make y_axis_width ' ')
+             glyphs.(i mod Array.length glyphs) s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?log_x ~title ~x_label ~y_label series =
+  print_string (render ?width ?height ?log_x ~title ~x_label ~y_label series)

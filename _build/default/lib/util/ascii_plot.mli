@@ -1,0 +1,30 @@
+(** Terminal line charts.
+
+    The paper has no data figures; the experiment harness draws its own:
+    one chart per experiment series, log-x-aware, rendered with plain
+    ASCII so the output survives logs and diffs. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Multi-series scatter/line chart; each series is drawn with its own
+    glyph and listed in the legend. Points with non-finite coordinates
+    are ignored. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  unit

@@ -1,0 +1,33 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+}
+
+let create () =
+  { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else t.mean
+let min t = t.min_v
+let max t = t.max_v
+let total t = t.total
+
+let stddev t =
+  if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+let pp ppf t =
+  Format.fprintf ppf "%.2f ± %.2f (%.0f..%.0f, n=%d)" (mean t) (stddev t) t.min_v t.max_v
+    t.count

@@ -1,0 +1,17 @@
+(** Running summary statistics (count / mean / min / max / variance)
+    accumulated online with Welford's algorithm. Used by the experiment
+    harness to aggregate per-query I/O counts. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val stddev : t -> float
+val total : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Prints [mean ± stddev (min..max, n=count)]. *)

@@ -1,0 +1,43 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row > List.length t.columns then
+    invalid_arg "Table.add_row: row wider than header";
+  t.rows <- row :: t.rows
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row
+  in
+  measure t.columns;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

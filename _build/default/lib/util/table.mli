@@ -1,0 +1,22 @@
+(** Plain-text result tables for the experiment harness.
+
+    A table has a title, a header row and data rows; [render] aligns the
+    columns so experiment output is directly readable (and diffable) in a
+    terminal or a log file. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty.
+    Raises [Invalid_argument] on rows longer than the header. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+
+val render : t -> string
+(** Full table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,1 @@
+lib/wbt/wbt.mli:

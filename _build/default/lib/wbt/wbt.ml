@@ -1,0 +1,184 @@
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  type key = K.t
+
+  type 'v t = Empty | Node of { l : 'v t; k : key; v : 'v; r : 'v t; size : int }
+
+  let delta = 3
+  let ratio = 2
+
+  let empty = Empty
+  let is_empty t = t = Empty
+
+  let size = function Empty -> 0 | Node n -> n.size
+
+  let rec height = function Empty -> 0 | Node n -> 1 + max (height n.l) (height n.r)
+
+  let node l k v r = Node { l; k; v; r; size = size l + size r + 1 }
+
+  (* Rotations restoring the weight-balance invariant after one
+     insertion or deletion on a balanced tree. *)
+  let single_l l k v r =
+    match r with
+    | Node { l = rl; k = rk; v = rv; r = rr; _ } -> node (node l k v rl) rk rv rr
+    | Empty -> assert false
+
+  let single_r l k v r =
+    match l with
+    | Node { l = ll; k = lk; v = lv; r = lr; _ } -> node ll lk lv (node lr k v r)
+    | Empty -> assert false
+
+  let double_l l k v r =
+    match r with
+    | Node { l = Node { l = rll; k = rlk; v = rlv; r = rlr; _ }; k = rk; v = rv; r = rr; _ } ->
+        node (node l k v rll) rlk rlv (node rlr rk rv rr)
+    | _ -> assert false
+
+  let double_r l k v r =
+    match l with
+    | Node { l = ll; k = lk; v = lv; r = Node { l = lrl; k = lrk; v = lrv; r = lrr; _ }; _ } ->
+        node (node ll lk lv lrl) lrk lrv (node lrr k v r)
+    | _ -> assert false
+
+  let is_balanced a b = delta * (size a + 1) >= size b + 1
+
+  let balance l k v r =
+    if is_balanced l r && is_balanced r l then node l k v r
+    else if size r > size l then
+      match r with
+      | Node { l = rl; r = rr; _ } ->
+          if size rl + 1 < ratio * (size rr + 1) then single_l l k v r else double_l l k v r
+      | Empty -> assert false
+    else
+      match l with
+      | Node { l = ll; r = lr; _ } ->
+          if size lr + 1 < ratio * (size ll + 1) then single_r l k v r else double_r l k v r
+      | Empty -> assert false
+
+  let rec find key = function
+    | Empty -> None
+    | Node { l; k; v; r; _ } ->
+        let c = K.compare key k in
+        if c = 0 then Some v else if c < 0 then find key l else find key r
+
+  let mem key t = find key t <> None
+
+  let rec add key value = function
+    | Empty -> node Empty key value Empty
+    | Node { l; k; v; r; _ } ->
+        let c = K.compare key k in
+        if c = 0 then node l key value r
+        else if c < 0 then balance (add key value l) k v r
+        else balance l k v (add key value r)
+
+  let rec min_binding = function
+    | Empty -> None
+    | Node { l = Empty; k; v; _ } -> Some (k, v)
+    | Node { l; _ } -> min_binding l
+
+  let rec max_binding = function
+    | Empty -> None
+    | Node { r = Empty; k; v; _ } -> Some (k, v)
+    | Node { r; _ } -> max_binding r
+
+  let rec remove_min = function
+    | Empty -> invalid_arg "Wbt.remove_min: empty"
+    | Node { l = Empty; k; v; r; _ } -> ((k, v), r)
+    | Node { l; k; v; r; _ } ->
+        let m, l' = remove_min l in
+        (m, balance l' k v r)
+
+  let glue l r =
+    match (l, r) with
+    | Empty, t | t, Empty -> t
+    | _ ->
+        let (k, v), r' = remove_min r in
+        balance l k v r'
+
+  let rec remove key = function
+    | Empty -> Empty
+    | Node { l; k; v; r; _ } ->
+        let c = K.compare key k in
+        if c = 0 then glue l r
+        else if c < 0 then balance (remove key l) k v r
+        else balance l k v (remove key r)
+
+  let rec nth i = function
+    | Empty -> invalid_arg "Wbt.nth: out of range"
+    | Node { l; k; v; r; _ } ->
+        let sl = size l in
+        if i < sl then nth i l else if i = sl then (k, v) else nth (i - sl - 1) r
+
+  let rec rank key = function
+    | Empty -> 0
+    | Node { l; k; r; _ } ->
+        let c = K.compare key k in
+        if c <= 0 then rank key l else size l + 1 + rank key r
+
+  (* Join two balanced trees of arbitrary relative size around a pivot. *)
+  let rec join l k v r =
+    match (l, r) with
+    | Empty, _ -> add k v r
+    | _, Empty -> add k v l
+    | Node ln, Node rn ->
+        if delta * (ln.size + 1) < rn.size + 1 then balance (join l k v rn.l) rn.k rn.v rn.r
+        else if delta * (rn.size + 1) < ln.size + 1 then balance ln.l ln.k ln.v (join ln.r k v r)
+        else node l k v r
+
+  let rec split key = function
+    | Empty -> (Empty, None, Empty)
+    | Node { l; k; v; r; _ } ->
+        let c = K.compare key k in
+        if c = 0 then (l, Some v, r)
+        else if c < 0 then
+          let ll, data, lr = split key l in
+          (ll, data, join lr k v r)
+        else
+          let rl, data, rr = split key r in
+          (join l k v rl, data, rr)
+
+  let rec iter f = function
+    | Empty -> ()
+    | Node { l; k; v; r; _ } ->
+        iter f l;
+        f k v;
+        iter f r
+
+  let rec fold f t acc =
+    match t with
+    | Empty -> acc
+    | Node { l; k; v; r; _ } -> fold f r (f k v (fold f l acc))
+
+  let to_list t = fold (fun k v acc -> (k, v) :: acc) t [] |> List.rev
+
+  let of_sorted_array a =
+    let rec build lo hi =
+      if lo > hi then Empty
+      else
+        let mid = (lo + hi) / 2 in
+        let k, v = a.(mid) in
+        node (build lo (mid - 1)) k v (build (mid + 1) hi)
+    in
+    for i = 1 to Array.length a - 1 do
+      if K.compare (fst a.(i - 1)) (fst a.(i)) >= 0 then
+        invalid_arg "Wbt.of_sorted_array: keys not strictly increasing"
+    done;
+    build 0 (Array.length a - 1)
+
+  let check_invariants t =
+    let rec bst lo hi = function
+      | Empty -> true
+      | Node { l; k; r; size = sz; _ } ->
+          let ok_lo = match lo with None -> true | Some b -> K.compare b k < 0 in
+          let ok_hi = match hi with None -> true | Some b -> K.compare k b < 0 in
+          ok_lo && ok_hi
+          && sz = size l + size r + 1
+          && is_balanced l r && is_balanced r l
+          && bst lo (Some k) l && bst (Some k) hi r
+    in
+    bst None None t
+end

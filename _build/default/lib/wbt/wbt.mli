@@ -1,0 +1,57 @@
+(** Weight-balanced binary search trees (the BB[alpha] substitute).
+
+    The paper makes both dynamic first-level structures weight-balanced:
+    a BB[alpha] tree in Solution 1 and a weighted-balanced B-tree in
+    Solution 2. This module provides the balance discipline as a generic,
+    persistent key/value search tree with order statistics; the index
+    structures reuse the same balance criterion for their rebuild-based
+    rebalancing.
+
+    Balance invariant (Adams-style, [delta = 3]): for every internal
+    node, [size l + 1 <= delta * (size r + 1)] and symmetrically. This
+    bounds the height by [O(log n)] like BB[alpha] with
+    [alpha = 1/(1+delta)]. *)
+
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  type key = K.t
+  type 'v t
+
+  val empty : 'v t
+  val is_empty : 'v t -> bool
+  val size : 'v t -> int
+  val height : 'v t -> int
+
+  val find : key -> 'v t -> 'v option
+  val mem : key -> 'v t -> bool
+
+  val add : key -> 'v -> 'v t -> 'v t
+  (** Replaces the binding if the key is present. *)
+
+  val remove : key -> 'v t -> 'v t
+
+  val min_binding : 'v t -> (key * 'v) option
+  val max_binding : 'v t -> (key * 'v) option
+
+  val nth : int -> 'v t -> key * 'v
+  (** 0-based order statistic. Raises [Invalid_argument] out of range. *)
+
+  val rank : key -> 'v t -> int
+  (** Number of keys strictly smaller than [key]. *)
+
+  val split : key -> 'v t -> 'v t * 'v option * 'v t
+  (** [(l, data, r)]: keys below, the binding at the key if any, keys
+      above. *)
+
+  val iter : (key -> 'v -> unit) -> 'v t -> unit
+  val fold : (key -> 'v -> 'a -> 'a) -> 'v t -> 'a -> 'a
+  val to_list : 'v t -> (key * 'v) list
+  val of_sorted_array : (key * 'v) array -> 'v t
+  (** Requires strictly increasing keys; O(n). *)
+
+  val check_invariants : 'v t -> bool
+  (** BST order + weight balance; for tests. *)
+end

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Float Hashtbl List Lseg Option Predicates Rng Segdb_geom Segdb_util Segment Sweep Vquery

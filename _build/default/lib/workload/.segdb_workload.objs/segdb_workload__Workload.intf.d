@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Lseg Rng Segdb_geom Segdb_util Segment Vquery

@@ -1,0 +1,1 @@
+test/t_btree.ml: Alcotest Array Block_store Int Io_stats List Map Printf QCheck QCheck_alcotest Segdb_btree Segdb_io

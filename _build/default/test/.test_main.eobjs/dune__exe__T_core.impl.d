@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Array Float Hashtbl Io_stats List Printf QCheck QCheck_alcotest Segdb_core Segdb_geom Segdb_io Segdb_util Segdb_workload Segment Vquery

@@ -1,0 +1,1 @@
+test/t_geom.ml: Alcotest Array Float List Lseg Predicates Printf QCheck QCheck_alcotest Segdb_geom Segment Transform Vquery

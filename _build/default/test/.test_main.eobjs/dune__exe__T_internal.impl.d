@@ -1,0 +1,1 @@
+test/t_internal.ml: Alcotest Array Float List Lseg Printf QCheck QCheck_alcotest Segdb_geom Segdb_internal Segdb_util Segdb_workload Segment Vquery

@@ -1,0 +1,1 @@
+test/t_io.ml: Alcotest Array Block_store Ext_sort Gen Hashtbl Int Io_stats List Lru Printf QCheck QCheck_alcotest Segdb_io

@@ -1,0 +1,1 @@
+test/t_itree.ml: Alcotest Array Block_store Float Io_stats List Printf QCheck QCheck_alcotest Segdb_geom Segdb_io Segdb_itree Segdb_util Segment

@@ -1,0 +1,1 @@
+test/t_pst.ml: Alcotest Array Block_store Hashtbl Io_stats List Lseg Printf QCheck QCheck_alcotest Segdb_geom Segdb_io Segdb_pst Segdb_util

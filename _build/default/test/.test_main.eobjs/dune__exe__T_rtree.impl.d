@@ -1,0 +1,1 @@
+test/t_rtree.ml: Alcotest Array Block_store Io_stats List Printf QCheck QCheck_alcotest Segdb_geom Segdb_io Segdb_rtree Segment Vquery

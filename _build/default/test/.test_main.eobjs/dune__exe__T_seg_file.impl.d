@@ -1,0 +1,1 @@
+test/t_seg_file.ml: Alcotest Array Filename Fun QCheck QCheck_alcotest Segdb_core Segdb_geom Segdb_util Segdb_workload Segment String Sys

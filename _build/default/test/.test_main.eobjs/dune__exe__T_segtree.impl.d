@@ -1,0 +1,1 @@
+test/t_segtree.ml: Alcotest Array Block_store Fun Io_stats List Printf QCheck QCheck_alcotest Segdb_geom Segdb_io Segdb_segtree Segdb_util Segment

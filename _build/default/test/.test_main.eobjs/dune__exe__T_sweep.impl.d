@@ -1,0 +1,1 @@
+test/t_sweep.ml: Alcotest Array List Predicates QCheck QCheck_alcotest Segdb_geom Segdb_util Segdb_workload Segment Sweep

@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Ascii_plot Float Gen List QCheck QCheck_alcotest Rng Segdb_util Stats String Table

@@ -1,0 +1,1 @@
+test/t_wbt.ml: Alcotest Array Fun Int List Map Printf QCheck QCheck_alcotest Segdb_wbt

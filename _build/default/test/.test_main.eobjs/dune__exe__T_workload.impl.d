@@ -1,0 +1,1 @@
+test/t_workload.ml: Alcotest Array Float Fun Lseg QCheck QCheck_alcotest Segdb_geom Segdb_util Segdb_workload Segment Vquery

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_btree T_core T_geom T_internal T_io T_itree T_pst T_rtree T_seg_file T_segtree T_sweep T_util T_wbt T_workload

@@ -1,0 +1,384 @@
+(* Core index tests: every backend must agree with the naive filter on
+   every workload family and every query kind; structural invariants
+   hold after builds and after insertions; boundary-exact queries are
+   de-duplicated; I/O costs separate the indexes from the scan. *)
+
+open Segdb_io
+open Segdb_geom
+module W = Segdb_workload.Workload
+module Rng = Segdb_util.Rng
+module S1 = Segdb_core.Solution1
+module S2 = Segdb_core.Solution2
+module Naive = Segdb_core.Naive
+module Vs = Segdb_core.Vs_index
+module Db = Segdb_core.Segdb
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let families =
+  [
+    ("roads", fun rng n -> W.roads rng ~n ~span:100.0);
+    ("grid", fun rng n -> W.grid_city rng ~n ~span:100 ~max_len:25);
+    ("temporal", fun rng n -> W.temporal rng ~n ~keys:12 ~horizon:200);
+    ("fans", fun rng n -> W.fans rng ~n ~centers:4 ~span:100);
+  ]
+
+let scenario =
+  QCheck.make
+    ~print:(fun (seed, n, block, fam, x, y1, w) ->
+      Printf.sprintf "seed=%d n=%d B=%d fam=%s x=%g y=[%g,%g]" seed n block fam x y1 (y1 +. w))
+    QCheck.Gen.(
+      let* seed = 0 -- 100_000 in
+      let* n = 0 -- 150 in
+      let* block = oneofl [ 4; 8; 16 ] in
+      let* fam = oneofl (List.map fst families) in
+      let* x = float_range (-10.0) 110.0 in
+      let* y1 = float_range (-10.0) 110.0 in
+      let* w = float_range 0.0 60.0 in
+      return (seed, n, block, fam, x, y1, w))
+
+let gen_family fam rng n = (List.assoc fam families) rng n
+
+let oracle segs q =
+  Array.to_list segs |> List.filter (Vquery.matches q)
+  |> List.map (fun (s : Segment.t) -> s.Segment.id)
+  |> List.sort compare
+
+(* Queries that exercise boundary-equality paths: abscissas snapped to
+   actual endpoint values. *)
+let interesting_xs segs x =
+  if Array.length segs = 0 then [ x ]
+  else
+    [ x; segs.(Array.length segs / 2).Segment.x1; segs.(Array.length segs / 3).Segment.x2 ]
+
+let check_backend (module M : Vs.S) cfg segs queries =
+  let t = M.build cfg segs in
+  List.for_all (fun q -> Vs.query_ids (module M) t q = oracle segs q) queries
+
+let queries_of segs (x, y1, w) =
+  List.concat_map
+    (fun x ->
+      [
+        Vquery.segment ~x ~ylo:y1 ~yhi:(y1 +. w);
+        Vquery.line ~x;
+        Vquery.ray_up ~x ~ylo:y1;
+        Vquery.ray_down ~x ~yhi:(y1 +. w);
+      ])
+    (interesting_xs segs x)
+
+let prop_all_backends_oracle =
+  QCheck.Test.make ~name:"all backends equal naive filter" ~count:250 scenario
+    (fun (seed, n, block, fam, x, y1, w) ->
+      let segs = gen_family fam (Rng.create seed) n in
+      let queries = queries_of segs (x, y1, w) in
+      let mk () = Vs.config ~pool_blocks:64 ~block () in
+      check_backend (module Naive) (mk ()) segs queries
+      && check_backend (module S1) (mk ()) segs queries
+      && check_backend (module S2) (mk ()) segs queries
+      && check_backend (module S2) (Vs.config ~pool_blocks:64 ~block ~cascade:false ()) segs queries
+      && check_backend (module Segdb_core.Rtree_index) (mk ()) segs queries)
+
+let prop_invariants =
+  QCheck.Test.make ~name:"solution invariants after build" ~count:150 scenario
+    (fun (seed, n, block, fam, _, _, _) ->
+      let segs = gen_family fam (Rng.create seed) n in
+      let cfg1 = Vs.config ~block () and cfg2 = Vs.config ~block () in
+      let t1 = S1.build cfg1 segs and t2 = S2.build cfg2 segs in
+      S1.check_invariants t1 && S2.check_invariants t2
+      && S1.size t1 = Array.length segs
+      && S2.size t2 = Array.length segs)
+
+let prop_insert_oracle =
+  QCheck.Test.make ~name:"solutions support insertion" ~count:120 scenario
+    (fun (seed, n, block, fam, x, y1, w) ->
+      QCheck.assume (n > 0);
+      let segs = gen_family fam (Rng.create seed) n in
+      let k = Array.length segs / 2 in
+      let head = Array.sub segs 0 k in
+      let queries = queries_of segs (x, y1, w) in
+      let run (module M : Vs.S) =
+        let cfg = Vs.config ~block () in
+        let t = M.build cfg head in
+        for i = k to Array.length segs - 1 do
+          M.insert t segs.(i)
+        done;
+        M.size t = Array.length segs
+        && List.for_all (fun q -> Vs.query_ids (module M) t q = oracle segs q) queries
+      in
+      let invariants_after_insert () =
+        let t1 = S1.build (Vs.config ~block ()) head in
+        let t2 = S2.build (Vs.config ~block ()) head in
+        for i = k to Array.length segs - 1 do
+          S1.insert t1 segs.(i);
+          S2.insert t2 segs.(i)
+        done;
+        S1.check_invariants t1 && S2.check_invariants t2
+      in
+      run (module S1) && run (module S2) && run (module Naive) && invariants_after_insert ())
+
+let test_facade () =
+  let rng = Rng.create 5 in
+  let segs = W.roads rng ~n:200 ~span:100.0 in
+  let q = Vquery.segment ~x:40.0 ~ylo:10.0 ~yhi:60.0 in
+  let expected = oracle segs q in
+  List.iter
+    (fun (name, backend) ->
+      let db = Db.create ~backend ~block:16 segs in
+      Alcotest.(check (list int)) (name ^ " answers") expected (Db.query_ids db q);
+      Alcotest.(check int) (name ^ " size") 200 (Db.size db);
+      Alcotest.(check bool) (name ^ " blocks > 0") true (Db.block_count db > 0))
+    Db.all_backends
+
+let test_facade_of_segments () =
+  let db =
+    Db.of_segments ~backend:`Solution1
+      [ [ (0.0, 0.0); (1.0, 1.0); (2.0, 0.5) ]; [ (0.0, 5.0); (2.0, 5.0) ] ]
+  in
+  Alcotest.(check int) "three segments" 3 (Db.size db);
+  Alcotest.(check int) "stab all" 3 (Db.count db (Vquery.line ~x:1.0))
+
+let test_duplicate_ids_rejected () =
+  let segs = [| Segment.make ~id:1 (0.0, 0.0) (1.0, 1.0); Segment.make ~id:1 (2.0, 0.0) (3.0, 1.0) |] in
+  List.iter
+    (fun backend ->
+      match Db.create ~backend segs with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "duplicate ids must be rejected")
+    [ `Solution1; `Solution2 ]
+
+let test_empty_db () =
+  List.iter
+    (fun (_, backend) ->
+      let db = Db.create ~backend [||] in
+      Alcotest.(check int) "size" 0 (Db.size db);
+      Alcotest.(check int) "query" 0 (Db.count db (Vquery.line ~x:0.0)))
+    Db.all_backends
+
+let test_io_separation () =
+  (* At n = 30k the solutions must answer thin queries in far fewer
+     I/Os than the naive scan. *)
+  let rng = Rng.create 11 in
+  let segs = W.roads rng ~n:30_000 ~span:1000.0 in
+  let qrng = Rng.create 12 in
+  let queries = W.segment_queries qrng ~n:30 ~span:1000.0 ~selectivity:0.01 in
+  let cost backend =
+    let db = Db.create ~backend ~block:64 ~pool_blocks:16 segs in
+    let io = Db.io db in
+    Io_stats.reset io;
+    Array.iter (fun q -> ignore (Db.count db q)) queries;
+    Io_stats.reads io
+  in
+  let naive = cost `Naive and s1 = cost `Solution1 and s2 = cost `Solution2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "s1 %d << naive %d" s1 naive)
+    true
+    (s1 * 4 < naive);
+  Alcotest.(check bool)
+    (Printf.sprintf "s2 %d << naive %d" s2 naive)
+    true
+    (s2 * 4 < naive)
+
+let test_cascade_counters () =
+  (* cascading only matters with long fragments: use wide co-sorted
+     lines that span many slabs *)
+  let rng = Rng.create 21 in
+  let n = 20_000 in
+  let bases = Array.init n (fun _ -> Rng.float rng 1000.0) in
+  let slopes = Array.init n (fun _ -> Rng.float rng 0.4 -. 0.2) in
+  Array.sort compare bases;
+  Array.sort compare slopes;
+  let segs =
+    Array.init n (fun i ->
+        let x1 = Rng.float rng 300.0 in
+        let x2 = x1 +. 300.0 +. Rng.float rng 400.0 in
+        let y x = bases.(i) +. (slopes.(i) *. x) in
+        Segment.make ~id:i (x1, y x1) (x2, y x2))
+  in
+  let cfg = Vs.config ~block:64 ~pool_blocks:16 () in
+  let t = S2.build cfg segs in
+  let qrng = Rng.create 22 in
+  Array.iter
+    (fun q -> ignore (Vs.query_ids (module S2) t q))
+    (W.segment_queries qrng ~n:20 ~span:1000.0 ~selectivity:0.2);
+  let guided, fallback = S2.cascade_counters t in
+  Alcotest.(check bool)
+    (Printf.sprintf "cascading active: guided=%d fallback=%d" guided fallback)
+    true
+    (guided > 0)
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "facade backends agree" `Quick test_facade;
+      Alcotest.test_case "facade of_segments" `Quick test_facade_of_segments;
+      Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_ids_rejected;
+      Alcotest.test_case "empty db" `Quick test_empty_db;
+      Alcotest.test_case "io separation from naive" `Quick test_io_separation;
+      Alcotest.test_case "cascade counters" `Quick test_cascade_counters;
+      qtest prop_all_backends_oracle;
+      qtest prop_invariants;
+      qtest prop_insert_oracle;
+    ] )
+
+let prop_delete_oracle =
+  QCheck.Test.make ~name:"all backends support deletion" ~count:100 scenario
+    (fun (seed, n, block, fam, x, y1, w) ->
+      QCheck.assume (n > 0);
+      let segs = gen_family fam (Rng.create seed) n in
+      QCheck.assume (Array.length segs > 0);
+      (* delete every third segment *)
+      let doomed, kept =
+        Array.to_list segs |> List.partition (fun (s : Segment.t) -> s.Segment.id mod 3 = 0)
+      in
+      let kept = Array.of_list kept in
+      let queries = queries_of segs (x, y1, w) in
+      let expect q =
+        Array.to_list kept |> List.filter (Vquery.matches q)
+        |> List.map (fun (s : Segment.t) -> s.Segment.id)
+        |> List.sort compare
+      in
+      let run (module M : Vs.S) =
+        let cfg = Vs.config ~block () in
+        let t = M.build cfg segs in
+        List.for_all (fun s -> M.delete t s) doomed
+        && List.for_all (fun s -> not (M.delete t s)) doomed (* gone *)
+        && M.size t = Array.length kept
+        && List.for_all (fun q -> Vs.query_ids (module M) t q = expect q) queries
+      in
+      run (module Naive) && run (module S1) && run (module S2)
+      && run (module Segdb_core.Rtree_index))
+
+let prop_mixed_ops =
+  QCheck.Test.make ~name:"interleaved insert/delete keep answers exact" ~count:80 scenario
+    (fun (seed, n, block, fam, x, y1, w) ->
+      QCheck.assume (n > 2);
+      let segs = gen_family fam (Rng.create seed) n in
+      QCheck.assume (Array.length segs > 2);
+      let k = Array.length segs / 2 in
+      let run (module M : Vs.S) =
+        let cfg = Vs.config ~block () in
+        let t = M.build cfg (Array.sub segs 0 k) in
+        (* interleave: insert one new, delete one old *)
+        let live = Hashtbl.create 16 in
+        Array.iteri (fun i s -> if i < k then Hashtbl.replace live i s) segs;
+        for i = k to Array.length segs - 1 do
+          M.insert t segs.(i);
+          Hashtbl.replace live i segs.(i);
+          let victim = i - k in
+          if victim < k && victim mod 2 = 0 then begin
+            if not (M.delete t segs.(victim)) then failwith "delete failed";
+            Hashtbl.remove live victim
+          end
+        done;
+        let queries = queries_of segs (x, y1, w) in
+        List.for_all
+          (fun q ->
+            let expect =
+              Hashtbl.fold
+                (fun _ (s : Segment.t) acc ->
+                  if Vquery.matches q s then s.Segment.id :: acc else acc)
+                live []
+              |> List.sort compare
+            in
+            Vs.query_ids (module M) t q = expect)
+          queries
+      in
+      run (module S1) && run (module S2) && run (module Segdb_core.Rtree_index))
+
+let prop_delete_invariants =
+  QCheck.Test.make ~name:"invariants survive deletion" ~count:80 scenario
+    (fun (seed, n, block, fam, _, _, _) ->
+      QCheck.assume (n > 0);
+      let segs = gen_family fam (Rng.create seed) n in
+      QCheck.assume (Array.length segs > 0);
+      let doomed =
+        Array.to_list segs |> List.filter (fun (s : Segment.t) -> s.Segment.id mod 3 = 0)
+      in
+      let t1 = S1.build (Vs.config ~block ()) segs in
+      let t2 = S2.build (Vs.config ~block ()) segs in
+      List.iter (fun s -> ignore (S1.delete t1 s)) doomed;
+      List.iter (fun s -> ignore (S2.delete t2 s)) doomed;
+      S1.check_invariants t1 && S2.check_invariants t2)
+
+let suite =
+  let name, cases = suite in
+  (name, cases @ [ qtest prop_delete_oracle; qtest prop_mixed_ops; qtest prop_delete_invariants ])
+
+let prop_sloped_facade =
+  QCheck.Test.make ~name:"Sloped facade equals direct geometric filter" ~count:150
+    (QCheck.make
+       ~print:(fun (seed, n, slope, x0, y0, len) ->
+         Printf.sprintf "seed=%d n=%d m=%g from=(%g,%g) len=%g" seed n slope x0 y0 len)
+       QCheck.Gen.(
+         let* seed = 0 -- 100_000 in
+         let* n = 1 -- 120 in
+         let* slope = float_range (-2.0) 2.0 in
+         let* x0 = float_range 0.0 80.0 in
+         let* y0 = float_range 0.0 80.0 in
+         let* len = float_range 1.0 40.0 in
+         return (seed, n, slope, x0, y0, len)))
+    (fun (seed, n, slope, x0, y0, len) ->
+      (* keep segment directions away from the query slope so float
+         orientation noise cannot flip a verdict *)
+      let rng = Rng.create seed in
+      let bases = Array.init n (fun _ -> Rng.float rng 100.0) in
+      let drifts = Array.init n (fun _ -> Rng.float rng 0.5) in
+      Array.sort compare bases;
+      Array.sort compare drifts;
+      let segs =
+        (* lines y = base_i + dir_i * x with co-sorted (base, dir) never
+           cross at x >= 0; clip each to an x-range *)
+        Array.init n (fun i ->
+            let x1 = Rng.float rng 50.0 in
+            let x2 = x1 +. 10.0 +. Rng.float rng 50.0 in
+            let dir = slope +. 2.5 +. drifts.(i) in
+            let y x = bases.(i) +. (dir *. x) in
+            Segment.make ~id:i (x1, y x1) (x2, y x2))
+      in
+      let sdb = Db.Sloped.create ~backend:`Solution2 ~slope segs in
+      let p1 = (x0, y0) and p2 = (x0 +. len, y0 +. (slope *. len)) in
+      let got =
+        Db.Sloped.query sdb ~p1 ~p2
+        |> List.map (fun (s : Segment.t) -> s.Segment.id)
+        |> List.sort compare
+      in
+      let orient (ax, ay) (bx, by) (cx, cy) =
+        let d = ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax)) in
+        if d > 1e-7 then 1 else if d < -1e-7 then -1 else 0
+      in
+      let expected =
+        Array.to_list segs
+        |> List.filter (fun (s : Segment.t) ->
+               let a = (s.Segment.x1, s.Segment.y1) and b = (s.Segment.x2, s.Segment.y2) in
+               let d1 = orient a b p1 and d2 = orient a b p2 in
+               let d3 = orient p1 p2 a and d4 = orient p1 p2 b in
+               d1 * d2 < 0 && d3 * d4 < 0)
+        |> List.map (fun (s : Segment.t) -> s.Segment.id)
+        |> List.sort compare
+      in
+      (* allow boundary-touch divergence: every disagreement must be a
+         near-tangency. The rotation adds relative float noise, so the
+         excusable band is judged with a coarser tolerance than the
+         oracle itself. *)
+      let coarse (ax, ay) (bx, by) (cx, cy) =
+        let u = (bx -. ax) *. (cy -. ay) and v = (by -. ay) *. (cx -. ax) in
+        let d = u -. v in
+        let eps = 1e-6 *. (Float.abs u +. Float.abs v +. 1.0) in
+        if d > eps then 1 else if d < -.eps then -1 else 0
+      in
+      let sym_diff =
+        List.filter (fun i -> not (List.mem i expected)) got
+        @ List.filter (fun i -> not (List.mem i got)) expected
+      in
+      List.for_all
+        (fun i ->
+          let s = segs.(i) in
+          let a = (s.Segment.x1, s.Segment.y1) and b = (s.Segment.x2, s.Segment.y2) in
+          let d1 = coarse a b p1 and d2 = coarse a b p2 in
+          let d3 = coarse p1 p2 a and d4 = coarse p1 p2 b in
+          d1 = 0 || d2 = 0 || d3 = 0 || d4 = 0)
+        sym_diff)
+
+let suite =
+  let name, cases = suite in
+  (name, cases @ [ qtest prop_sloped_facade ])

@@ -1,0 +1,154 @@
+(* Internal-memory interval tree tests (the paper's in-core baseline). *)
+
+open Segdb_geom
+module I = Segdb_internal.Internal_interval_tree
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let ivl i (a, b) =
+  let lo = Float.min a b and hi = Float.max a b in
+  { I.lo; hi; seg = Segment.make ~id:i (lo, 0.0) (hi, 0.0) }
+
+let ivls_gen =
+  QCheck.Gen.(
+    let* n = 0 -- 150 in
+    let* raw = list_size (return n) (pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0)) in
+    return (Array.of_list (List.mapi ivl raw)))
+
+let scenario =
+  QCheck.make
+    ~print:(fun (ivls, x, w) -> Printf.sprintf "n=%d x=%g w=%g" (Array.length ivls) x w)
+    QCheck.Gen.(triple ivls_gen (float_range (-120.0) 120.0) (float_range 0.0 80.0))
+
+let ids l = List.map (fun iv -> iv.I.seg.Segment.id) l |> List.sort compare
+
+let prop_stab =
+  QCheck.Test.make ~name:"internal stab equals naive" ~count:300 scenario (fun (ivls, x, _) ->
+      let t = I.build ivls in
+      ids (I.stab_list t x)
+      = (Array.to_list ivls |> List.filter (fun iv -> iv.I.lo <= x && x <= iv.I.hi) |> ids))
+
+let prop_overlap =
+  QCheck.Test.make ~name:"internal overlap equals naive" ~count:300 scenario
+    (fun (ivls, a, w) ->
+      let t = I.build ivls in
+      let b = a +. w in
+      let got = ref [] in
+      I.overlap t ~lo:a ~hi:b ~f:(fun iv -> got := iv :: !got);
+      ids !got
+      = (Array.to_list ivls |> List.filter (fun iv -> iv.I.lo <= b && iv.I.hi >= a) |> ids))
+
+let prop_invariants =
+  QCheck.Test.make ~name:"internal invariants + insert/delete" ~count:200 scenario
+    (fun (ivls, x, _) ->
+      QCheck.assume (Array.length ivls > 0);
+      let k = Array.length ivls / 2 in
+      let t = I.build (Array.sub ivls 0 k) in
+      for i = k to Array.length ivls - 1 do
+        I.insert t ivls.(i)
+      done;
+      let doomed, kept =
+        Array.to_list ivls |> List.partition (fun iv -> iv.I.seg.Segment.id mod 3 = 0)
+      in
+      let ok_del = List.for_all (I.delete t) doomed in
+      ok_del && I.check_invariants t
+      && I.size t = List.length kept
+      && ids (I.stab_list t x)
+         = (kept |> List.filter (fun iv -> iv.I.lo <= x && x <= iv.I.hi) |> ids))
+
+let test_height_logarithmic () =
+  let ivls = Array.init 20_000 (fun i -> ivl i (float_of_int i, float_of_int (i + 3))) in
+  let t = I.build ivls in
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d is logarithmic" (I.height t))
+    true
+    (I.height t <= 30)
+
+let suite =
+  ( "internal",
+    [
+      Alcotest.test_case "height logarithmic" `Quick test_height_logarithmic;
+      qtest prop_stab;
+      qtest prop_overlap;
+      qtest prop_invariants;
+    ] )
+
+(* -------- Internal PST and internal VS structure -------- *)
+
+module Ipst = Segdb_internal.Internal_pst
+module Ivs = Segdb_internal.Internal_vs
+module W = Segdb_workload.Workload
+module Rng = Segdb_util.Rng
+
+let lseg_scenario =
+  QCheck.make
+    ~print:(fun (seed, n, uq, v1, w) ->
+      Printf.sprintf "seed=%d n=%d uq=%g v=[%g,%g]" seed n uq v1 (v1 +. w))
+    QCheck.Gen.(
+      let* seed = 0 -- 100_000 in
+      let* n = 0 -- 120 in
+      let* uq = float_range 0.0 30.0 in
+      let* v1 = float_range (-10.0) 110.0 in
+      let* w = float_range 0.0 60.0 in
+      return (seed, n, uq, v1, w))
+
+let prop_ipst_oracle =
+  QCheck.Test.make ~name:"internal PST equals naive filter" ~count:300 lseg_scenario
+    (fun (seed, n, uq, v1, w) ->
+      let lsegs = W.line_based (Rng.create seed) ~n ~vspan:100.0 ~umax:25.0 in
+      let t = Ipst.build lsegs in
+      let q = Lseg.query ~uq ~vlo:v1 ~vhi:(v1 +. w) in
+      let got =
+        Ipst.query_list t q |> List.map (fun (s : Lseg.t) -> s.Lseg.id) |> List.sort compare
+      in
+      let expected =
+        Array.to_list lsegs |> List.filter (Lseg.matches q)
+        |> List.map (fun (s : Lseg.t) -> s.Lseg.id)
+        |> List.sort compare
+      in
+      Ipst.check_invariants t && got = expected)
+
+let vs_scenario =
+  QCheck.make
+    ~print:(fun (seed, n, fam, x, y1, w) ->
+      Printf.sprintf "seed=%d n=%d fam=%s x=%g y=[%g,%g]" seed n fam x y1 (y1 +. w))
+    QCheck.Gen.(
+      let* seed = 0 -- 100_000 in
+      let* n = 0 -- 120 in
+      let* fam = oneofl [ "roads"; "grid"; "fans" ] in
+      let* x = float_range (-10.0) 110.0 in
+      let* y1 = float_range (-10.0) 110.0 in
+      let* w = float_range 0.0 60.0 in
+      return (seed, n, fam, x, y1, w))
+
+let gen_vs fam rng n =
+  match fam with
+  | "roads" -> W.roads rng ~n ~span:100.0
+  | "grid" -> W.grid_city rng ~n ~span:100 ~max_len:25
+  | _ -> W.fans rng ~n ~centers:4 ~span:100
+
+let prop_ivs_oracle =
+  QCheck.Test.make ~name:"internal VS structure equals naive filter" ~count:300 vs_scenario
+    (fun (seed, n, fam, x, y1, w) ->
+      let segs = gen_vs fam (Rng.create seed) n in
+      let t = Ivs.build segs in
+      let queries =
+        [
+          Vquery.segment ~x ~ylo:y1 ~yhi:(y1 +. w);
+          Vquery.line ~x;
+          (if Array.length segs > 0 then Vquery.line ~x:segs.(Array.length segs / 2).Segment.x1
+           else Vquery.line ~x);
+        ]
+      in
+      Ivs.check_invariants t
+      && List.for_all
+           (fun q ->
+             Ivs.query_ids t q
+             = (Array.to_list segs |> List.filter (Vquery.matches q)
+               |> List.map (fun (s : Segment.t) -> s.Segment.id)
+               |> List.sort compare))
+           queries)
+
+let suite =
+  let name, cases = suite in
+  (name, cases @ [ qtest prop_ipst_oracle; qtest prop_ivs_oracle ])

@@ -1,0 +1,286 @@
+(* Tests for the simulated disk: LRU semantics and exact I/O accounting. *)
+
+open Segdb_io
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- Lru ---------------- *)
+
+let test_lru_basic () =
+  let l = Lru.create ~capacity:2 in
+  let evicted = ref [] in
+  let on_evict k _ = evicted := k :: !evicted in
+  Lru.put l 1 "a" ~on_evict;
+  Lru.put l 2 "b" ~on_evict;
+  Alcotest.(check (option string)) "find 1" (Some "a") (Lru.find l 1);
+  Lru.put l 3 "c" ~on_evict;
+  (* 2 was least recently used (1 was touched by find) *)
+  Alcotest.(check (list int)) "evicted 2" [ 2 ] !evicted;
+  Alcotest.(check (option string)) "2 gone" None (Lru.find l 2);
+  Alcotest.(check int) "length" 2 (Lru.length l)
+
+let test_lru_replace () =
+  let l = Lru.create ~capacity:2 in
+  let on_evict _ _ = Alcotest.fail "no eviction expected" in
+  Lru.put l 1 "a" ~on_evict;
+  Lru.put l 1 "b" ~on_evict;
+  Alcotest.(check (option string)) "replaced" (Some "b") (Lru.find l 1);
+  Alcotest.(check int) "length 1" 1 (Lru.length l)
+
+let test_lru_remove () =
+  let l = Lru.create ~capacity:4 in
+  let on_evict _ _ = () in
+  Lru.put l 1 "a" ~on_evict;
+  Lru.put l 2 "b" ~on_evict;
+  Alcotest.(check (option string)) "remove returns" (Some "a") (Lru.remove l 1);
+  Alcotest.(check (option string)) "remove again" None (Lru.remove l 1);
+  Alcotest.(check int) "length" 1 (Lru.length l)
+
+let test_lru_iter_order () =
+  let l = Lru.create ~capacity:3 in
+  let on_evict _ _ = () in
+  Lru.put l 1 "a" ~on_evict;
+  Lru.put l 2 "b" ~on_evict;
+  Lru.put l 3 "c" ~on_evict;
+  ignore (Lru.find l 1);
+  let order = ref [] in
+  Lru.iter l (fun k _ -> order := k :: !order);
+  Alcotest.(check (list int)) "MRU first" [ 1; 3; 2 ] (List.rev !order)
+
+(* Model-based property: the LRU against a naive list model. *)
+let prop_lru_model =
+  QCheck.Test.make ~name:"lru model equivalence" ~count:300
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 15) (int_range 0 100))))
+    (fun (cap, ops) ->
+      QCheck.assume (cap >= 1);
+      let l = Lru.create ~capacity:cap in
+      (* model: association list, most recent first *)
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (k, v) ->
+          Lru.put l k v ~on_evict:(fun _ _ -> ());
+          model := (k, v) :: List.remove_assoc k !model;
+          if List.length !model > cap then
+            model := List.filteri (fun i _ -> i < cap) !model)
+        ops;
+      List.iter
+        (fun (k, _) ->
+          match List.assoc_opt k !model with
+          | Some mv -> if Lru.find l k <> Some mv then ok := false
+          | None -> if Lru.mem l k then ok := false)
+        ops;
+      if Lru.length l <> List.length !model then ok := false;
+      !ok)
+
+(* ---------------- Block_store ---------------- *)
+
+module S = Block_store.Make (struct
+  type t = int
+end)
+
+let mk ?(cap = 4) () =
+  let pool = Block_store.Pool.create ~capacity:cap in
+  let io = Io_stats.create () in
+  let s = S.create ~pool ~stats:io () in
+  (s, io, pool)
+
+let test_store_roundtrip () =
+  let s, _, _ = mk () in
+  let a = S.alloc s 10 and b = S.alloc s 20 in
+  Alcotest.(check int) "read a" 10 (S.read s a);
+  Alcotest.(check int) "read b" 20 (S.read s b);
+  S.write s a 11;
+  Alcotest.(check int) "read a after write" 11 (S.read s a);
+  Alcotest.(check int) "live blocks" 2 (S.block_count s)
+
+let test_store_no_io_while_resident () =
+  let s, io, _ = mk ~cap:8 () in
+  let addrs = List.init 4 (fun i -> S.alloc s i) in
+  List.iter (fun a -> ignore (S.read s a)) addrs;
+  List.iter (fun a -> ignore (S.read s a)) addrs;
+  Alcotest.(check int) "no reads charged while resident" 0 (Io_stats.reads io);
+  Alcotest.(check int) "no writes yet" 0 (Io_stats.writes io);
+  Alcotest.(check int) "allocs counted" 4 (Io_stats.allocs io)
+
+let test_store_eviction_charges () =
+  let s, io, _ = mk ~cap:2 () in
+  let a = S.alloc s 1 in
+  let b = S.alloc s 2 in
+  let c = S.alloc s 3 in
+  (* pool holds 2; allocating c evicted a (dirty) -> 1 write *)
+  Alcotest.(check int) "write on dirty eviction" 1 (Io_stats.writes io);
+  Alcotest.(check int) "read back a" 1 (S.read s a);
+  (* reading a missed -> 1 read, and evicted b (dirty) -> +1 write *)
+  Alcotest.(check int) "read charged" 1 (Io_stats.reads io);
+  Alcotest.(check int) "second dirty eviction" 2 (Io_stats.writes io);
+  ignore (S.read s c);
+  ignore b
+
+let test_store_clean_eviction_free () =
+  let s, io, _ = mk ~cap:1 () in
+  let a = S.alloc s 1 in
+  let _b = S.alloc s 2 in
+  (* a evicted dirty: 1 write *)
+  Alcotest.(check int) "dirty eviction" 1 (Io_stats.writes io);
+  ignore (S.read s a);
+  (* b evicted dirty: +1 write; a resident clean *)
+  Alcotest.(check int) "dirty eviction b" 2 (Io_stats.writes io);
+  ignore (S.read s _b);
+  (* a evicted clean: no write *)
+  Alcotest.(check int) "clean eviction free" 2 (Io_stats.writes io);
+  Alcotest.(check int) "reads" 2 (Io_stats.reads io)
+
+let test_store_free_and_errors () =
+  let s, _, _ = mk () in
+  let a = S.alloc s 5 in
+  S.free s a;
+  Alcotest.(check int) "no live blocks" 0 (S.block_count s);
+  (match S.read s a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "read after free should raise");
+  match S.free s a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double free should raise"
+
+let test_store_flush () =
+  let s, io, _ = mk ~cap:8 () in
+  let a = S.alloc s 1 and b = S.alloc s 2 in
+  S.flush s;
+  Alcotest.(check int) "flush writes dirty blocks" 2 (Io_stats.writes io);
+  S.flush s;
+  Alcotest.(check int) "second flush free" 2 (Io_stats.writes io);
+  ignore (a, b)
+
+let test_store_write_nonresident_no_read () =
+  let s, io, _ = mk ~cap:1 () in
+  let a = S.alloc s 1 in
+  let _b = S.alloc s 2 in
+  (* a is on disk now *)
+  let r0 = Io_stats.reads io in
+  S.write s a 10;
+  Alcotest.(check int) "blind overwrite charges no read" r0 (Io_stats.reads io);
+  Alcotest.(check int) "value updated" 10 (S.read s a)
+
+(* Two stores sharing one pool compete for frames. *)
+let test_shared_pool () =
+  let pool = Block_store.Pool.create ~capacity:2 in
+  let io = Io_stats.create () in
+  let s1 = S.create ~name:"s1" ~pool ~stats:io () in
+  let s2 = S.create ~name:"s2" ~pool ~stats:io () in
+  let a = S.alloc s1 1 in
+  let _ = S.alloc s2 2 in
+  let _ = S.alloc s2 3 in
+  (* a was evicted by s2's allocations *)
+  let r0 = Io_stats.reads io in
+  Alcotest.(check int) "read back from disk" 1 (S.read s1 a);
+  Alcotest.(check int) "miss charged" (r0 + 1) (Io_stats.reads io);
+  Alcotest.(check bool) "pool bounded" true (Block_store.Pool.resident pool <= 2)
+
+let prop_store_model =
+  QCheck.Test.make ~name:"block store read-your-writes under eviction" ~count:200
+    QCheck.(pair (int_range 1 6) (small_list (pair (int_range 0 9) (int_range 0 999))))
+    (fun (cap, writes) ->
+      let pool = Block_store.Pool.create ~capacity:cap in
+      let io = Io_stats.create () in
+      let s = S.create ~pool ~stats:io () in
+      let addr_of = Hashtbl.create 16 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          (match Hashtbl.find_opt addr_of k with
+          | None -> Hashtbl.add addr_of k (S.alloc s v)
+          | Some a -> S.write s a v);
+          Hashtbl.replace model k v)
+        writes;
+      Hashtbl.fold
+        (fun k a ok -> ok && S.read s a = Hashtbl.find model k)
+        addr_of true)
+
+let suite =
+  ( "io",
+    [
+      Alcotest.test_case "lru basic" `Quick test_lru_basic;
+      Alcotest.test_case "lru replace" `Quick test_lru_replace;
+      Alcotest.test_case "lru remove" `Quick test_lru_remove;
+      Alcotest.test_case "lru iter order" `Quick test_lru_iter_order;
+      Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+      Alcotest.test_case "store resident free" `Quick test_store_no_io_while_resident;
+      Alcotest.test_case "store eviction charges" `Quick test_store_eviction_charges;
+      Alcotest.test_case "store clean eviction free" `Quick test_store_clean_eviction_free;
+      Alcotest.test_case "store free/errors" `Quick test_store_free_and_errors;
+      Alcotest.test_case "store flush" `Quick test_store_flush;
+      Alcotest.test_case "store blind write" `Quick test_store_write_nonresident_no_read;
+      Alcotest.test_case "shared pool" `Quick test_shared_pool;
+      qtest prop_lru_model;
+      qtest prop_store_model;
+    ] )
+
+(* ---------------- Ext_sort ---------------- *)
+
+module Xs = Ext_sort.Make (Int)
+
+let prop_extsort_correct =
+  QCheck.Test.make ~name:"external sort equals Array.sort" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 2000) (int_range 0 10_000))
+        (int_range 1 16) (int_range 3 8))
+    (fun (xs, block, mem) ->
+      let pool = Block_store.Pool.create ~capacity:mem in
+      let io = Io_stats.create () in
+      let arr = Array.of_list xs in
+      let sorted = Xs.sort ~pool ~stats:io ~block ~memory_blocks:mem arr in
+      let expected = Array.copy arr in
+      Array.sort compare expected;
+      sorted = expected)
+
+let prop_extsort_stable =
+  QCheck.Test.make ~name:"external sort is stable" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 500) (int_range 0 20))
+    (fun keys ->
+      (* tag duplicates with their original index; compare keys only *)
+      let module P = Ext_sort.Make (struct
+        type t = int * int
+
+        let compare (a, _) (b, _) = compare a b
+      end) in
+      let pool = Block_store.Pool.create ~capacity:8 in
+      let io = Io_stats.create () in
+      let arr = Array.of_list (List.mapi (fun i k -> (k, i)) keys) in
+      let sorted = P.sort ~pool ~stats:io ~block:4 ~memory_blocks:3 arr in
+      let expected = Array.copy arr in
+      Array.stable_sort (fun (a, _) (b, _) -> compare a b) expected;
+      sorted = expected)
+
+let test_extsort_io_scaling () =
+  (* I/O ~ 2 * blocks * (passes + 1): the EM sorting bound's shape *)
+  let block = 16 and mem = 4 in
+  let costs =
+    List.map
+      (fun n ->
+        let pool = Block_store.Pool.create ~capacity:mem in
+        let io = Io_stats.create () in
+        let arr = Array.init n (fun i -> (i * 7919) mod 104729) in
+        ignore (Xs.sort ~pool ~stats:io ~block ~memory_blocks:mem arr);
+        let blocks = (n + block - 1) / block in
+        let passes = Xs.passes ~block ~memory_blocks:mem n in
+        (n, Io_stats.total_io io, blocks * (2 * (passes + 2))))
+      [ 1_000; 4_000; 16_000 ]
+  in
+  List.iter
+    (fun (n, io, budget) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d io=%d within budget %d" n io budget)
+        true (io <= budget))
+    costs
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "extsort io scaling" `Quick test_extsort_io_scaling;
+        qtest prop_extsort_correct;
+        qtest prop_extsort_stable;
+      ] )

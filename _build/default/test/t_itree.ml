@@ -1,0 +1,167 @@
+(* External interval tree tests: stabbing and overlap queries against a
+   naive oracle, uniqueness of reporting, insertion, I/O behaviour. *)
+
+open Segdb_io
+open Segdb_geom
+module It = Segdb_itree.Interval_tree
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let mk_pool ?(cap = 512) () = (Block_store.Pool.create ~capacity:cap, Io_stats.create ())
+
+let ivl_of_triple i (a, b) =
+  let lo = Float.min a b and hi = Float.max a b in
+  { It.lo; hi; seg = Segment.make ~id:i (lo, 0.0) (hi, 0.0) }
+
+let ivls_gen =
+  QCheck.Gen.(
+    let* n = 0 -- 150 in
+    let* raw = list_size (return n) (pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0)) in
+    return (Array.of_list (List.mapi ivl_of_triple raw)))
+
+let ivls_print a =
+  QCheck.Print.array (fun iv -> Printf.sprintf "[%g,%g]#%d" iv.It.lo iv.It.hi iv.It.seg.Segment.id) a
+
+let scenario =
+  QCheck.make
+    ~print:(QCheck.Print.triple ivls_print string_of_float string_of_float)
+    QCheck.Gen.(
+      triple ivls_gen (float_range (-120.0) 120.0) (float_range 0.0 80.0))
+
+let ids l = List.map (fun iv -> iv.It.seg.Segment.id) l |> List.sort compare
+
+let uniq_sorted l =
+  let rec go = function a :: (b :: _ as r) -> a <> b && go r | _ -> true in
+  go l
+
+let build ?(fanout = 4) ?(leaf_capacity = 4) ivls =
+  let pool, io = mk_pool () in
+  (It.build ~fanout ~leaf_capacity ~pool ~stats:io ivls, io)
+
+let prop_stab_oracle =
+  QCheck.Test.make ~name:"stab equals naive filter" ~count:300 scenario (fun (ivls, x, _) ->
+      let t, _ = build ivls in
+      let got = ids (It.stab_list t x) in
+      let expected =
+        Array.to_list ivls |> List.filter (fun iv -> iv.It.lo <= x && x <= iv.It.hi) |> ids
+      in
+      got = expected && uniq_sorted got)
+
+let prop_overlap_oracle =
+  QCheck.Test.make ~name:"overlap equals naive filter" ~count:300 scenario
+    (fun (ivls, a, width) ->
+      let t, _ = build ivls in
+      let b = a +. width in
+      let got = ids (It.overlap_list t ~lo:a ~hi:b) in
+      let expected =
+        Array.to_list ivls |> List.filter (fun iv -> iv.It.lo <= b && iv.It.hi >= a) |> ids
+      in
+      got = expected && uniq_sorted got)
+
+let prop_invariants =
+  QCheck.Test.make ~name:"itree invariants" ~count:150 scenario (fun (ivls, _, _) ->
+      let t, _ = build ivls in
+      It.check_invariants t && It.size t = Array.length ivls)
+
+let prop_insert_oracle =
+  QCheck.Test.make ~name:"insert preserves stab queries" ~count:200 scenario
+    (fun (ivls, x, _) ->
+      QCheck.assume (Array.length ivls > 0);
+      let k = Array.length ivls / 2 in
+      let t, _ = build (Array.sub ivls 0 k) in
+      for i = k to Array.length ivls - 1 do
+        It.insert t ivls.(i)
+      done;
+      let got = ids (It.stab_list t x) in
+      let expected =
+        Array.to_list ivls |> List.filter (fun iv -> iv.It.lo <= x && x <= iv.It.hi) |> ids
+      in
+      It.check_invariants t && got = expected)
+
+let prop_insert_from_empty =
+  QCheck.Test.make ~name:"insert from empty tree" ~count:100 scenario (fun (ivls, x, _) ->
+      let t, _ = build [||] in
+      Array.iter (It.insert t) ivls;
+      let got = ids (It.stab_list t x) in
+      let expected =
+        Array.to_list ivls |> List.filter (fun iv -> iv.It.lo <= x && x <= iv.It.hi) |> ids
+      in
+      It.size t = Array.length ivls && got = expected)
+
+let test_empty () =
+  let t, _ = build [||] in
+  Alcotest.(check int) "size" 0 (It.size t);
+  Alcotest.(check bool) "stab empty" true (It.stab_list t 0.0 = []);
+  Alcotest.(check bool) "overlap empty" true (It.overlap_list t ~lo:0.0 ~hi:1.0 = []);
+  Alcotest.(check bool) "invariants" true (It.check_invariants t)
+
+let test_degenerate_identical () =
+  (* all intervals identical: exercises the oversized-leaf fallback *)
+  let ivls = Array.init 100 (fun i -> ivl_of_triple i (5.0, 5.0)) in
+  let t, _ = build ~leaf_capacity:4 ivls in
+  Alcotest.(check int) "all stabbed" 100 (List.length (It.stab_list t 5.0));
+  Alcotest.(check int) "none besides" 0 (List.length (It.stab_list t 6.0))
+
+let test_touching_endpoints () =
+  let ivls = [| ivl_of_triple 0 (0.0, 2.0); ivl_of_triple 1 (2.0, 4.0) |] in
+  let t, _ = build ivls in
+  Alcotest.(check (list int)) "stab at shared endpoint" [ 0; 1 ] (ids (It.stab_list t 2.0));
+  Alcotest.(check (list int)) "overlap touching" [ 0; 1 ]
+    (ids (It.overlap_list t ~lo:2.0 ~hi:2.0))
+
+let test_stab_io_logarithmic () =
+  let pool = Block_store.Pool.create ~capacity:8 in
+  let io = Io_stats.create () in
+  let rng = Segdb_util.Rng.create 7 in
+  let n = 20_000 in
+  let ivls =
+    Array.init n (fun i ->
+        let lo = Segdb_util.Rng.float rng 10000.0 in
+        let hi = lo +. Segdb_util.Rng.float rng 30.0 in
+        { It.lo; hi; seg = Segment.make ~id:i (lo, 0.0) (hi, 0.0) })
+  in
+  let t = It.build ~fanout:8 ~leaf_capacity:64 ~pool ~stats:io ivls in
+  let worst = ref 0 in
+  for i = 0 to 29 do
+    let x = float_of_int i *. 333.0 in
+    let before = Io_stats.snapshot io in
+    let res = It.stab_list t x in
+    let cost = Io_stats.snapshot_total (Io_stats.diff before (Io_stats.snapshot io)) in
+    (* budget: O(height * log_B n + t/B) with generous constants; the
+       point is to rule out linear scans (n/B = 312 blocks) *)
+    let budget = 40 + (List.length res / 8) in
+    if cost > budget then incr worst
+  done;
+  Alcotest.(check int) "stabs within logarithmic budget" 0 !worst
+
+let suite =
+  ( "itree",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "degenerate identical" `Quick test_degenerate_identical;
+      Alcotest.test_case "touching endpoints" `Quick test_touching_endpoints;
+      Alcotest.test_case "stab io logarithmic" `Quick test_stab_io_logarithmic;
+      qtest prop_stab_oracle;
+      qtest prop_overlap_oracle;
+      qtest prop_invariants;
+      qtest prop_insert_oracle;
+      qtest prop_insert_from_empty;
+    ] )
+
+let prop_delete_oracle =
+  QCheck.Test.make ~name:"itree delete preserves stab queries" ~count:150 scenario
+    (fun (ivls, x, _) ->
+      QCheck.assume (Array.length ivls > 0);
+      let t, _ = build ivls in
+      let doomed, kept =
+        Array.to_list ivls |> List.partition (fun iv -> iv.It.seg.Segment.id mod 3 = 0)
+      in
+      let ok_del = List.for_all (It.delete t) doomed in
+      let gone = List.for_all (fun iv -> not (It.delete t iv)) doomed in
+      let got = ids (It.stab_list t x) in
+      let expected = kept |> List.filter (fun iv -> iv.It.lo <= x && x <= iv.It.hi) |> ids in
+      ok_del && gone && It.size t = List.length kept && got = expected)
+
+let suite =
+  let name, cases = suite in
+  (name, cases @ [ qtest prop_delete_oracle ])

@@ -1,0 +1,86 @@
+(* R-tree baseline tests. *)
+
+open Segdb_io
+open Segdb_geom
+module R = Segdb_rtree.Rtree
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let mk_pool ?(cap = 512) () = (Block_store.Pool.create ~capacity:cap, Io_stats.create ())
+
+let segs_gen =
+  QCheck.Gen.(
+    let* n = 0 -- 120 in
+    let* raw =
+      list_size (return n)
+        (quad (float_range 0.0 100.0) (float_range 0.0 100.0) (float_range (-10.0) 10.0)
+           (float_range (-10.0) 10.0))
+    in
+    return
+      (Array.of_list
+         (List.mapi (fun i (x, y, dx, dy) -> Segment.make ~id:i (x, y) (x +. dx, y +. dy)) raw)))
+
+let scenario =
+  QCheck.make
+    ~print:(fun (segs, x, y1, w) ->
+      Printf.sprintf "n=%d x=%g y=[%g,%g]" (Array.length segs) x y1 (y1 +. w))
+    QCheck.Gen.(
+      let* segs = segs_gen in
+      let* x = float_range (-15.0) 115.0 in
+      let* y1 = float_range (-15.0) 115.0 in
+      let* w = float_range 0.0 50.0 in
+      return (segs, x, y1, w))
+
+let ids l = List.map (fun (s : Segment.t) -> s.Segment.id) l |> List.sort compare
+
+let oracle segs q = Array.to_list segs |> List.filter (Vquery.matches q) |> ids
+
+let prop_query_oracle =
+  QCheck.Test.make ~name:"rtree query equals naive filter" ~count:300 scenario
+    (fun (segs, x, y1, w) ->
+      let pool, io = mk_pool () in
+      let t = R.bulk_load ~node_capacity:8 ~pool ~stats:io segs in
+      let q = Vquery.segment ~x ~ylo:y1 ~yhi:(y1 +. w) in
+      ids (R.query_list t q) = oracle segs q)
+
+let prop_bulk_invariants =
+  QCheck.Test.make ~name:"rtree bulk invariants" ~count:150 scenario (fun (segs, _, _, _) ->
+      let pool, io = mk_pool () in
+      let t = R.bulk_load ~node_capacity:8 ~pool ~stats:io segs in
+      R.check_invariants t && R.size t = Array.length segs)
+
+let prop_insert_oracle =
+  QCheck.Test.make ~name:"rtree insert equals oracle" ~count:150 scenario
+    (fun (segs, x, y1, w) ->
+      let pool, io = mk_pool () in
+      let k = Array.length segs / 2 in
+      let t = R.bulk_load ~node_capacity:8 ~pool ~stats:io (Array.sub segs 0 k) in
+      for i = k to Array.length segs - 1 do
+        R.insert t segs.(i)
+      done;
+      let q = Vquery.segment ~x ~ylo:y1 ~yhi:(y1 +. w) in
+      R.check_invariants t && ids (R.query_list t q) = oracle segs q)
+
+let test_empty () =
+  let pool, io = mk_pool () in
+  let t = R.create ~pool ~stats:io () in
+  Alcotest.(check int) "size" 0 (R.size t);
+  Alcotest.(check bool) "query" true (R.query_list t (Vquery.line ~x:0.0) = []);
+  Alcotest.(check bool) "invariants" true (R.check_invariants t)
+
+let test_line_query () =
+  let pool, io = mk_pool () in
+  let segs = Array.init 10 (fun i -> Segment.make ~id:i (float_of_int i, 0.0) (float_of_int i +. 5.0, 3.0)) in
+  let t = R.bulk_load ~node_capacity:4 ~pool ~stats:io segs in
+  let got = ids (R.query_list t (Vquery.line ~x:7.5)) in
+  Alcotest.(check (list int)) "line stab" [ 3; 4; 5; 6; 7 ] got
+
+let suite =
+  ( "rtree",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "line query" `Quick test_line_query;
+      qtest prop_query_oracle;
+      qtest prop_bulk_invariants;
+      qtest prop_insert_oracle;
+    ] )

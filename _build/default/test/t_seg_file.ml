@@ -1,0 +1,54 @@
+(* Segment file format round-trips. *)
+
+open Segdb_geom
+module Seg_file = Segdb_core.Seg_file
+module W = Segdb_workload.Workload
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"seg file round-trip" ~count:50 (QCheck.make QCheck.Gen.(0 -- 5000))
+    (fun seed ->
+      let segs = W.roads (Segdb_util.Rng.create seed) ~n:50 ~span:100.0 in
+      let path = Filename.temp_file "segdb" ".seg" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Seg_file.save path segs;
+          let back = Seg_file.load path in
+          Array.length back = Array.length segs
+          && Array.for_all2 Segment.equal segs back))
+
+let test_malformed () =
+  let path = Filename.temp_file "segdb" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# comment\n\n1 2 3\n";
+      close_out oc;
+      match Seg_file.load path with
+      | exception Failure msg ->
+          Alcotest.(check bool) "line number in error" true
+            (String.length msg > 0 && String.contains msg '3')
+      | _ -> Alcotest.fail "expected Failure")
+
+let test_comments_and_blanks () =
+  let path = Filename.temp_file "segdb" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# header\n\n7 0 0 1 1\n\n# tail\n";
+      close_out oc;
+      let segs = Seg_file.load path in
+      Alcotest.(check int) "one segment" 1 (Array.length segs);
+      Alcotest.(check int) "id" 7 segs.(0).Segment.id)
+
+let suite =
+  ( "seg_file",
+    [
+      Alcotest.test_case "malformed input" `Quick test_malformed;
+      Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+      qtest prop_roundtrip;
+    ] )

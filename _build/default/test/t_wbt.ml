@@ -1,0 +1,104 @@
+(* Model-based and invariant tests for the weight-balanced tree. *)
+
+module M = Segdb_wbt.Wbt.Make (Int)
+module Model = Map.Make (Int)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+type op = Add of int * int | Remove of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map2 (fun k v -> Add (k, v)) (int_range 0 200) (int_range 0 1000));
+        (1, map (fun k -> Remove k) (int_range 0 200)) ])
+
+let op_print = function
+  | Add (k, v) -> Printf.sprintf "Add(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove(%d)" k
+
+let ops_arb = QCheck.make ~print:QCheck.Print.(list op_print) QCheck.Gen.(list_size (0 -- 400) op_gen)
+
+let apply_ops ops =
+  List.fold_left
+    (fun (t, m) -> function
+      | Add (k, v) -> (M.add k v t, Model.add k v m)
+      | Remove k -> (M.remove k t, Model.remove k m))
+    (M.empty, Model.empty) ops
+
+let prop_model =
+  QCheck.Test.make ~name:"wbt equals Map model" ~count:200 ops_arb (fun ops ->
+      let t, m = apply_ops ops in
+      M.to_list t = Model.bindings m)
+
+let prop_invariants =
+  QCheck.Test.make ~name:"wbt invariants hold" ~count:200 ops_arb (fun ops ->
+      let t, _ = apply_ops ops in
+      M.check_invariants t)
+
+let prop_height =
+  QCheck.Test.make ~name:"wbt height is logarithmic" ~count:50
+    QCheck.(int_range 1 2000)
+    (fun n ->
+      let t = ref M.empty in
+      for i = 0 to n - 1 do
+        t := M.add i i !t
+      done;
+      (* delta = 3 gives height <= ~2.41 log2 n; allow slack *)
+      float_of_int (M.height !t) <= (3.0 *. (log (float_of_int n) /. log 2.0)) +. 3.0)
+
+let prop_split =
+  QCheck.Test.make ~name:"wbt split partitions" ~count:200
+    QCheck.(pair (int_range 0 200) ops_arb)
+    (fun (pivot, ops) ->
+      let t, m = apply_ops ops in
+      let l, data, r = M.split pivot t in
+      M.check_invariants l && M.check_invariants r
+      && data = Model.find_opt pivot m
+      && List.for_all (fun (k, _) -> k < pivot) (M.to_list l)
+      && List.for_all (fun (k, _) -> k > pivot) (M.to_list r)
+      && M.size l + M.size r + (if data = None then 0 else 1) = Model.cardinal m)
+
+let prop_rank_nth =
+  QCheck.Test.make ~name:"wbt rank/nth consistent" ~count:200 ops_arb (fun ops ->
+      let t, m = apply_ops ops in
+      let bindings = Model.bindings m in
+      List.for_all2
+        (fun i (k, v) -> M.nth i t = (k, v) && M.rank k t = i)
+        (List.init (List.length bindings) Fun.id)
+        bindings)
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (M.is_empty M.empty);
+  Alcotest.(check int) "size" 0 (M.size M.empty);
+  Alcotest.(check (option int)) "find" None (M.find 1 M.empty);
+  Alcotest.(check bool) "min" true (M.min_binding M.empty = None);
+  Alcotest.(check bool) "max" true (M.max_binding M.empty = None)
+
+let test_min_max () =
+  let t = List.fold_left (fun t k -> M.add k (k * 10) t) M.empty [ 5; 1; 9; 3 ] in
+  Alcotest.(check bool) "min" true (M.min_binding t = Some (1, 10));
+  Alcotest.(check bool) "max" true (M.max_binding t = Some (9, 90))
+
+let test_of_sorted_array () =
+  let a = Array.init 100 (fun i -> (i, i)) in
+  let t = M.of_sorted_array a in
+  Alcotest.(check bool) "invariants" true (M.check_invariants t);
+  Alcotest.(check int) "size" 100 (M.size t);
+  Alcotest.(check bool) "rejects unsorted" true
+    (match M.of_sorted_array [| (2, 0); (1, 0) |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  ( "wbt",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "of_sorted_array" `Quick test_of_sorted_array;
+      qtest prop_model;
+      qtest prop_invariants;
+      qtest prop_height;
+      qtest prop_split;
+      qtest prop_rank_nth;
+    ] )
