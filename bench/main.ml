@@ -95,6 +95,84 @@ let run_wall_clock () =
            [ name; Segdb_util.Table.cell_float ~decimals:0 ns ]);
   Segdb_util.Table.print table
 
+(* ---------------- persistence: cold vs warm open ---------------- *)
+
+(* Not a complexity claim from the paper — an engineering table for the
+   storage layer: what a snapshot buys over a rebuild, per backend, and
+   what the file-backed block store costs in real syscalls. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_persistence () =
+  let n = if quick then 1 lsl 12 else 1 lsl 16 in
+  let segs = W.roads (Rng.create 42) ~n ~span:1000.0 in
+  let dir = Filename.temp_file "segdb_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let snap = Filename.concat dir "db.snap" in
+  let table =
+    Segdb_util.Table.create
+      ~title:(Printf.sprintf "persistence: n=%d roads, build vs snapshot open (seconds)" n)
+      ~columns:[ "backend"; "build"; "save"; "open img"; "open rebuild"; "snap MB" ]
+  in
+  List.iter
+    (fun (name, backend) ->
+      let db, t_build = time (fun () -> Db.create ~backend ~block:64 segs) in
+      let (), t_save = time (fun () -> Db.save db snap) in
+      let mb = float_of_int (Unix.stat snap).Unix.st_size /. 1048576.0 in
+      let (db_img, mode), t_img = time (fun () -> Db.open_db_mode snap) in
+      assert (mode = Db.Restored_image && Db.size db_img = Db.size db);
+      let (db_rb, mode), t_rb = time (fun () -> Db.open_db_mode ~use_image:false snap) in
+      assert (mode = Db.Rebuilt && Db.size db_rb = Db.size db);
+      Segdb_util.Table.add_row table
+        [
+          name;
+          Segdb_util.Table.cell_float ~decimals:3 t_build;
+          Segdb_util.Table.cell_float ~decimals:3 t_save;
+          Segdb_util.Table.cell_float ~decimals:3 t_img;
+          Segdb_util.Table.cell_float ~decimals:3 t_rb;
+          Segdb_util.Table.cell_float ~decimals:1 mb;
+        ])
+    Db.all_backends;
+  Segdb_util.Table.print table;
+  Sys.remove snap;
+  (* file-backed block store: page I/O per op, sequential fill + readback *)
+  let module P = struct
+    type t = float array
+
+    let codec = Segdb_io.Codec.(array float)
+  end in
+  let module FS = Segdb_io.File_store.Make (P) in
+  let blocks = if quick then 512 else 8192 in
+  let payload = Array.init 64 float_of_int in
+  let path = Filename.concat dir "store.blk" in
+  let io = Segdb_io.Io_stats.create () in
+  let s = FS.create ~page_size:4096 ~cache_blocks:64 ~stats:io ~path () in
+  let addrs, t_fill =
+    time (fun () ->
+        let a = Array.init blocks (fun _ -> FS.alloc s payload) in
+        FS.sync s;
+        a)
+  in
+  let t_read =
+    let rng = Rng.create 7 in
+    snd
+      (time (fun () ->
+           for _ = 1 to blocks do
+             ignore (FS.read s (addrs.(Rng.int rng blocks)))
+           done))
+  in
+  Printf.printf
+    "file store: %d blocks of 64 floats, page 4K, cache 64\n\
+    \  fill+sync %.3fs (%d page writes), random read %.3fs (%d page reads)\n"
+    blocks t_fill (Segdb_io.Io_stats.writes io) t_read (Segdb_io.Io_stats.reads io);
+  FS.close s;
+  Sys.remove path;
+  Unix.rmdir dir
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -104,4 +182,6 @@ let () =
   Registry.run_ids ~params [];
   Printf.printf "\n=== E11: wall-clock timing ===\n\n";
   run_wall_clock ();
+  Printf.printf "\n=== persistence: snapshot open + file store ===\n\n";
+  run_persistence ();
   print_newline ()

@@ -124,12 +124,108 @@ let run_round ~seed ~ops ~size round =
         fail "final: %s size %d vs model %d" name (M.size t) (Hashtbl.length model))
     instances
 
-let fuzz rounds ops seed size =
+(* Persistence round: random ops against the facade with a WAL attached,
+   snapshots at random points, then a simulated crash — the db is dropped
+   and reopened from snapshot + log. Answers before and after the reopen
+   must match each other and the model; both open paths (marshaled image
+   and rebuild) are exercised. *)
+
+module Db = Segdb_core.Segdb
+
+let run_persist_round ~seed ~ops ~size round =
+  let seed = seed + (round * 104729) in
+  let rng = Rng.create seed in
+  let backend = Rng.pick rng [| `Naive; `Rtree; `Solution1; `Solution2; `Solution2_nofc |] in
+  let pool_segs = W.roads (Rng.split rng) ~n:(2 * size) ~span:200.0 in
+  let n0 = Array.length pool_segs / 2 in
+  let initial = Array.sub pool_segs 0 n0 in
+  let spare = ref (Array.to_list (Array.sub pool_segs n0 (Array.length pool_segs - n0))) in
+  let dir = Filename.temp_file "segdb_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let snap = Filename.concat dir "db.snap" and wal = Filename.concat dir "db.wal" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (persist round %d, seed %d): %s\n" round seed msg;
+        exit 1)
+      fmt
+  in
+  let model = Model.create () in
+  Array.iter (Model.insert model) initial;
+  let db = Db.create ~backend ~block:(8 lsl Rng.int rng 3) initial in
+  Db.save db snap;
+  ignore (Db.attach_wal ~sync:false db wal);
+  let live = ref (Array.to_list initial) in
+  for op = 1 to ops do
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> (
+        match !spare with
+        | s :: rest ->
+            spare := rest;
+            live := s :: !live;
+            Model.insert model s;
+            Db.insert db s
+        | [] -> ())
+    | 3 when !live <> [] ->
+        let s = List.nth !live (Rng.int rng (List.length !live)) in
+        live := List.filter (fun (c : Segment.t) -> c.id <> s.Segment.id) !live;
+        Model.delete model s;
+        if not (Db.delete db s) then fail "op %d: delete missed id %d" op s.Segment.id
+    | 4 when Rng.int rng 8 = 0 ->
+        (* occasional checkpoint: snapshot + truncate the log *)
+        Db.checkpoint db snap
+    | _ ->
+        let x = Rng.float rng 220.0 -. 10.0 in
+        let y = Rng.float rng 200.0 in
+        let q = Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0) in
+        let got = List.sort compare (Db.query_ids db q) in
+        if got <> Model.query model q then
+          fail "op %d: live db diverged from model on %s" op
+            (Format.asprintf "%a" Vquery.pp q)
+  done;
+  let queries = Array.init 30 (fun _ ->
+      let x = Rng.float rng 220.0 -. 10.0 in
+      let y = Rng.float rng 200.0 in
+      Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0))
+  in
+  let before = Array.map (fun q -> List.sort compare (Db.query_ids db q)) queries in
+  Db.detach_wal db
+  (* crash: the live index is dropped; only snapshot + log survive *);
+  let use_image = Rng.bool rng in
+  let db2, _ = Db.open_db_mode ~use_image snap in
+  ignore (Db.attach_wal ~sync:false db2 wal);
+  if Db.size db2 <> Hashtbl.length model then
+    fail "reopen (%s): size %d vs model %d"
+      (if use_image then "image" else "rebuild")
+      (Db.size db2) (Hashtbl.length model);
+  Array.iteri
+    (fun i q ->
+      let after = List.sort compare (Db.query_ids db2 q) in
+      if after <> before.(i) then
+        fail "reopen (%s): answers differ on %s"
+          (if use_image then "image" else "rebuild")
+          (Format.asprintf "%a" Vquery.pp q);
+      if after <> Model.query model q then
+        fail "reopen: recovered db diverged from model on %s"
+          (Format.asprintf "%a" Vquery.pp q))
+    queries;
+  Db.detach_wal db2;
+  Sys.remove snap;
+  if Sys.file_exists wal then Sys.remove wal;
+  Unix.rmdir dir
+
+let fuzz rounds ops seed size persist =
   for round = 1 to rounds do
-    run_round ~seed ~ops ~size round;
+    if persist then run_persist_round ~seed ~ops ~size round
+    else run_round ~seed ~ops ~size round;
     if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
   done;
-  Printf.printf "fuzz: %d rounds x %d ops, all backends agree with the model\n" rounds ops;
+  if persist then
+    Printf.printf
+      "fuzz: %d persist rounds x %d ops, answers stable across save/open/replay\n" rounds ops
+  else
+    Printf.printf "fuzz: %d rounds x %d ops, all backends agree with the model\n" rounds ops;
   0
 
 let rounds_t = Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds.")
@@ -137,8 +233,17 @@ let ops_t = Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc:"Operations
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.")
 let size_t = Arg.(value & opt int 120 & info [ "size" ] ~docv:"N" ~doc:"Initial segments.")
 
+let persist_t =
+  Arg.(
+    value & flag
+    & info [ "persist" ]
+        ~doc:
+          "Save/open/replay round-trips: random ops under a WAL with random checkpoints, \
+           then a simulated crash and recovery; query answers must be identical before \
+           and after the reopen.")
+
 let cmd =
   let doc = "model-based stress test across all index backends" in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ rounds_t $ ops_t $ seed_t $ size_t)
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t)
 
 let () = exit (Cmd.eval' cmd)

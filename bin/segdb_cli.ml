@@ -5,11 +5,17 @@
      stats     — build an index and print structural statistics
      query     — run vertical line/ray/segment queries against a file
      compare   — run a query workload across all backends (I/O table)
+     save      — build an index and snapshot it to disk
+     open      — reopen a snapshot (image restore or rebuild) + optional WAL
+     recover   — replay a WAL over a snapshot, optionally checkpointing
 
    Examples:
      segdb_cli generate --family roads -n 10000 -o roads.seg
      segdb_cli query roads.seg --backend solution2 --x 420 --ylo 10 --yhi 90
-     segdb_cli compare roads.seg --queries 50 --selectivity 0.02            *)
+     segdb_cli compare roads.seg --queries 50 --selectivity 0.02
+     segdb_cli save roads.seg -o roads.snap --backend solution2
+     segdb_cli open roads.snap --wal roads.wal --x 420 --ylo 10 --yhi 90
+     segdb_cli recover roads.snap --wal roads.wal --checkpoint roads.snap   *)
 
 open Cmdliner
 open Segdb_geom
@@ -215,6 +221,139 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"run a query workload across all backends")
     Term.(const compare_backends $ file_t $ block_t $ pool_t $ nqueries_t $ selectivity_t $ seed_t)
 
+(* ---------------- save / open / recover ---------------- *)
+
+let no_image_t =
+  Arg.(
+    value & flag
+    & info [ "no-image" ]
+        ~doc:
+          "Omit (on $(b,save)) or ignore (on $(b,open)) the marshaled index image; the \
+           snapshot is then opened by rebuilding from the segment section.")
+
+let wal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"LOG" ~doc:"Write-ahead log to attach (created if absent).")
+
+let save file out backend block pool no_image =
+  let segs = Seg_file.load file in
+  let db = Db.create ~backend ~block ~pool_blocks:pool segs in
+  let t0 = Unix.gettimeofday () in
+  Db.save ~image:(not no_image) db out;
+  Printf.printf "wrote %s: %d segments, backend %s, %d bytes (%.3fs)\n" out (Db.size db)
+    (Db.backend_name db)
+    (Unix.stat out).Unix.st_size
+    (Unix.gettimeofday () -. t0);
+  0
+
+let snap_out_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"SNAP" ~doc:"Snapshot file to write.")
+
+let save_cmd =
+  Cmd.v
+    (Cmd.info "save" ~doc:"build an index over a segment file and snapshot it to disk")
+    Term.(const save $ file_t $ snap_out_t $ backend_t $ block_t $ pool_t $ no_image_t)
+
+let snap_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAP" ~doc:"Snapshot file.")
+
+let open_snapshot_exn snap no_image wal print_ids x ylo yhi =
+  let t0 = Unix.gettimeofday () in
+  let db, mode = Db.open_db_mode ~use_image:(not no_image) snap in
+  let dt = Unix.gettimeofday () -. t0 in
+  let mode_name = match mode with Db.Restored_image -> "image" | Db.Rebuilt -> "rebuild" in
+  let replayed = match wal with None -> 0 | Some path -> Db.attach_wal db path in
+  Printf.printf "opened %s via %s in %.3fs: backend %s, %d segments%s\n" snap mode_name dt
+    (Db.backend_name db) (Db.size db)
+    (if wal = None then "" else Printf.sprintf ", %d WAL records replayed" replayed);
+  (match x with
+  | None -> ()
+  | Some x ->
+      let q =
+        Vquery.segment ~x
+          ~ylo:(Option.value ylo ~default:neg_infinity)
+          ~yhi:(Option.value yhi ~default:infinity)
+      in
+      let io = Db.io db in
+      Io_stats.reset io;
+      let ids = List.sort compare (Db.query_ids db q) in
+      Printf.printf "%s -> %d segments (%s)\n"
+        (Format.asprintf "%a" Vquery.pp q)
+        (List.length ids)
+        (Format.asprintf "%a" Io_stats.pp io);
+      List.iter (Printf.printf "%d\n") ids);
+  if print_ids then
+    Array.iter (fun (s : Segment.t) -> Printf.printf "%d\n" s.Segment.id) (Db.segments db);
+  Db.detach_wal db;
+  0
+
+let open_snapshot snap no_image wal print_ids x ylo yhi =
+  try open_snapshot_exn snap no_image wal print_ids x ylo yhi
+  with Segdb_core.Snapshot.Corrupt_snapshot msg ->
+    Printf.eprintf "corrupt snapshot: %s\n" msg;
+    1
+
+let ids_t =
+  Arg.(value & flag & info [ "ids" ] ~doc:"Print every stored segment id, sorted.")
+
+let qx_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "x" ] ~docv:"X" ~doc:"Run one query at this abscissa and print matching ids.")
+
+let open_cmd =
+  Cmd.v
+    (Cmd.info "open"
+       ~doc:
+         "reopen a snapshot (restoring the saved index image when this binary wrote it, \
+          rebuilding otherwise) and optionally replay a WAL and run a query")
+    Term.(const open_snapshot $ snap_t $ no_image_t $ wal_t $ ids_t $ qx_t $ ylo_t $ yhi_t)
+
+let rec recover snap wal checkpoint_out =
+  try recover_exn snap wal checkpoint_out
+  with Segdb_core.Snapshot.Corrupt_snapshot msg ->
+    Printf.eprintf "corrupt snapshot: %s\n" msg;
+    1
+
+and recover_exn snap wal checkpoint_out =
+  let db, mode = Db.open_db_mode snap in
+  let mode_name = match mode with Db.Restored_image -> "image" | Db.Rebuilt -> "rebuild" in
+  let replayed = Db.attach_wal db wal in
+  Printf.printf "recovered %s (%s) + %s: %d segments, %d WAL records replayed\n" snap
+    mode_name wal (Db.size db) replayed;
+  (match checkpoint_out with
+  | None -> ()
+  | Some out ->
+      Db.checkpoint db out;
+      Printf.printf "checkpointed to %s; %s truncated\n" out wal);
+  Db.detach_wal db;
+  0
+
+let recover_wal_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"LOG" ~doc:"Write-ahead log to replay.")
+
+let checkpoint_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"SNAP"
+        ~doc:"After replay, snapshot the recovered index here and truncate the log.")
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"replay a write-ahead log over a snapshot, optionally checkpointing the result")
+    Term.(const recover $ snap_t $ recover_wal_t $ checkpoint_t)
+
 (* ---------------- verify ---------------- *)
 
 let verify file =
@@ -243,6 +382,7 @@ let verify_cmd =
 
 let main_cmd =
   let doc = "segment database with vertical-segment-query indexes (EDBT'98 reproduction)" in
-  Cmd.group (Cmd.info "segdb_cli" ~doc) [ generate_cmd; stats_cmd; query_cmd; compare_cmd; verify_cmd ]
+  Cmd.group (Cmd.info "segdb_cli" ~doc)
+    [ generate_cmd; stats_cmd; query_cmd; compare_cmd; save_cmd; open_cmd; recover_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -10,5 +10,6 @@ let build (cfg : Vs_index.config) segs =
 let insert = R.insert
 let delete = R.delete
 let query = R.query
+let iter_all t ~f = R.iter t f
 let size = R.size
 let block_count = R.block_count

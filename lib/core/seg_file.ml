@@ -40,3 +40,28 @@ let of_channel ic =
 let load path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+module Codec = Segdb_io.Codec
+
+let codec : Segment.t Codec.t =
+  {
+    write =
+      (fun b (s : Segment.t) ->
+        Codec.W.u64 b s.id;
+        Codec.W.f64 b s.x1;
+        Codec.W.f64 b s.y1;
+        Codec.W.f64 b s.x2;
+        Codec.W.f64 b s.y2);
+    read =
+      (fun r ->
+        let id = Codec.R.u64 r in
+        let x1 = Codec.R.f64 r in
+        let y1 = Codec.R.f64 r in
+        let x2 = Codec.R.f64 r in
+        let y2 = Codec.R.f64 r in
+        (* [make] renormalizes endpoint order, the stored segment was
+           already normalized: the round-trip is exact *)
+        Segment.make ~id (x1, y1) (x2, y2));
+  }
+
+let array_codec = Codec.array codec

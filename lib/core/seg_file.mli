@@ -13,3 +13,12 @@ val load : string -> Segment.t array
 
 val to_channel : out_channel -> Segment.t array -> unit
 val of_channel : in_channel -> Segment.t array
+
+(** {1 Binary form}
+
+    The persistence layer (snapshots, WAL records) stores segments in
+    the fixed binary layout [id: u64 | x1 y1 x2 y2: f64], little-endian
+    — 40 bytes per segment, exact float round-trips. *)
+
+val codec : Segment.t Segdb_io.Codec.t
+val array_codec : Segment.t array Segdb_io.Codec.t

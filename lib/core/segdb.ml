@@ -1,10 +1,16 @@
+open Segdb_io
 open Segdb_geom
 
 type backend = [ `Naive | `Rtree | `Solution1 | `Solution2 | `Solution2_nofc ]
 
 type pack = Pack : (module Vs_index.S with type t = 'a) * 'a -> pack
 
-type t = { cfg : Vs_index.config; pack : pack }
+type t = {
+  cfg : Vs_index.config;
+  backend : backend;
+  pack : pack;
+  mutable wal : Wal.t option;
+}
 
 let build_pack (cfg : Vs_index.config) backend segs =
   match backend with
@@ -16,7 +22,7 @@ let build_pack (cfg : Vs_index.config) backend segs =
 let create ?(backend = `Solution2) ?(block = 64) ?(pool_blocks = 64) segs =
   let cascade = backend <> `Solution2_nofc in
   let cfg = Vs_index.config ~pool_blocks ~block ~cascade () in
-  { cfg; pack = build_pack cfg backend segs }
+  { cfg; backend; pack = build_pack cfg backend segs; wal = None }
 
 let of_segments ?backend ?block ?pool_blocks polylines =
   let acc = ref [] in
@@ -34,13 +40,58 @@ let of_segments ?backend ?block ?pool_blocks polylines =
     polylines;
   create ?backend ?block ?pool_blocks (Array.of_list (List.rev !acc))
 
-let insert t s =
+(* ---------------- WAL records ---------------- *)
+
+type op = Op_insert of Segment.t | Op_delete of Segment.t
+
+let op_codec : op Codec.t =
+  {
+    write =
+      (fun b -> function
+        | Op_insert s ->
+            Codec.W.u8 b 1;
+            Seg_file.codec.write b s
+        | Op_delete s ->
+            Codec.W.u8 b 2;
+            Seg_file.codec.write b s);
+    read =
+      (fun r ->
+        match Codec.R.u8 r with
+        | 1 -> Op_insert (Seg_file.codec.read r)
+        | 2 -> Op_delete (Seg_file.codec.read r)
+        | tag -> raise (Codec.Corrupt (Printf.sprintf "unknown WAL op tag %d" tag)));
+  }
+
+let log_op t op =
+  match t.wal with None -> () | Some w -> Wal.append w (Codec.encode op_codec op)
+
+let apply_insert t s =
   let (Pack ((module M), v)) = t.pack in
   M.insert v s
 
-let delete t s =
+let apply_delete t s =
   let (Pack ((module M), v)) = t.pack in
   M.delete v s
+
+(* Replay is idempotent where the index is not: a record whose effect is
+   already present (the crash happened between the append and the apply
+   of a later record, or the log overlaps a snapshot) must not abort
+   recovery. *)
+let apply_op t = function
+  | Op_insert s -> ( try apply_insert t s with Invalid_argument _ -> ())
+  | Op_delete s -> ignore (apply_delete t s)
+
+let insert t s =
+  (* the record is durable before the index is touched: a crash between
+     the two replays the insert on reopen *)
+  log_op t (Op_insert s);
+  apply_insert t s
+
+let delete t s =
+  log_op t (Op_delete s);
+  apply_delete t s
+
+(* ---------------- queries ---------------- *)
 
 let query_iter t q ~f =
   let (Pack ((module M), v)) = t.pack in
@@ -60,6 +111,17 @@ let count t q =
   query_iter t q ~f:(fun _ -> incr n);
   !n
 
+let iter_all t ~f =
+  let (Pack ((module M), v)) = t.pack in
+  M.iter_all v ~f
+
+let segments t =
+  let acc = ref [] in
+  iter_all t ~f:(fun s -> acc := s :: !acc);
+  let arr = Array.of_list !acc in
+  Array.sort Segment.compare_id arr;
+  arr
+
 let size t =
   let (Pack ((module M), v)) = t.pack in
   M.size v
@@ -69,6 +131,8 @@ let block_count t =
   M.block_count v
 
 let io t = t.cfg.stats
+
+let backend t = t.backend
 
 let backend_name t =
   let (Pack ((module M), _)) = t.pack in
@@ -84,6 +148,91 @@ let all_backends =
   ]
 
 let backend_of_string s = List.assoc_opt (String.lowercase_ascii s) all_backends
+
+let backend_tag b = List.find (fun (_, b') -> b' = b) all_backends |> fst
+
+(* ---------------- persistence ---------------- *)
+
+let save ?(image = true) t path =
+  let image =
+    if not image then None
+    else Some (Marshal.to_string (t.cfg, t.pack) [ Marshal.Closures ])
+  in
+  let segments = segments t in
+  Snapshot.write ~path
+    {
+      Snapshot.backend = backend_tag t.backend;
+      block = t.cfg.block;
+      pool_blocks = Block_store.Pool.capacity t.cfg.pool;
+      cascade = t.cfg.cascade;
+      count = Array.length segments;
+      digest = Snapshot.self_digest ();
+    }
+    ~segments ~image
+
+type open_mode = Restored_image | Rebuilt
+
+let open_db_mode ?(use_image = true) path =
+  let c = Snapshot.read ~path in
+  let backend =
+    match backend_of_string c.header.backend with
+    | Some b -> b
+    | None ->
+        raise
+          (Snapshot.Corrupt_snapshot
+             (Printf.sprintf "%s: unknown backend %S" path c.header.backend))
+  in
+  let restored =
+    if not use_image then None
+    else
+      match c.image with
+      | Some img
+        when c.header.digest <> "" && c.header.digest = Snapshot.self_digest () -> (
+          (* the image marshals closures, so it is only meaningful for
+             the executable that wrote it — hence the digest guard *)
+          try
+            let cfg, pack = (Marshal.from_string img 0 : Vs_index.config * pack) in
+            Some { cfg; backend; pack; wal = None }
+          with Failure _ -> None)
+      | _ -> None
+  in
+  match restored with
+  | Some t -> (t, Restored_image)
+  | None ->
+      ( create ~backend ~block:c.header.block ~pool_blocks:c.header.pool_blocks
+          c.segments,
+        Rebuilt )
+
+let open_db ?use_image path = fst (open_db_mode ?use_image path)
+
+(* ---------------- WAL lifecycle ---------------- *)
+
+let attach_wal ?(sync = true) t path =
+  if t.wal <> None then invalid_arg "Segdb.attach_wal: a WAL is already attached";
+  let w, records = Wal.open_ ~sync path in
+  List.iter
+    (fun payload ->
+      match Codec.decode op_codec payload with
+      | op -> apply_op t op
+      | exception Codec.Corrupt _ -> ()
+      (* an intact frame with an undecodable payload was written by
+         something else; skip rather than abort recovery *))
+    records;
+  t.wal <- Some w;
+  List.length records
+
+let wal_path t = Option.map Wal.path t.wal
+
+let detach_wal t =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+      Wal.close w;
+      t.wal <- None
+
+let checkpoint ?image t path =
+  save ?image t path;
+  match t.wal with None -> () | Some w -> Wal.reset w
 
 module Sloped = struct
   type nonrec t = {

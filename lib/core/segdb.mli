@@ -46,11 +46,13 @@ val of_segments : ?backend:backend -> ?block:int -> ?pool_blocks:int -> (float *
 val insert : t -> Segment.t -> unit
 (** Semi-dynamic insertion; the new segment must not cross stored ones
     (NCT) for complexity guarantees, though answers remain exact for
-    touching-only violations. *)
+    touching-only violations. With a WAL attached the record is made
+    durable {e before} the index is touched. *)
 
 val delete : t -> Segment.t -> bool
 (** Removes the segment (matched by id and geometry); amortized
-    logarithmic via local removal plus periodic rebuilds. *)
+    logarithmic via local removal plus periodic rebuilds. Logged like
+    {!insert} when a WAL is attached. *)
 
 val query : t -> Vquery.t -> Segment.t list
 val query_iter : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
@@ -60,13 +62,63 @@ val count : t -> Vquery.t -> int
 val size : t -> int
 val block_count : t -> int
 
+val iter_all : t -> f:(Segment.t -> unit) -> unit
+(** Every stored segment once, in unspecified order. *)
+
+val segments : t -> Segment.t array
+(** Every stored segment, sorted by id — what {!save} persists. *)
+
 val io : t -> Io_stats.t
 (** The index's I/O counter (shared by all its sub-structures). *)
 
+val backend : t -> backend
 val backend_name : t -> string
 
 val backend_of_string : string -> backend option
 val all_backends : (string * backend) list
+
+(** {1 Persistence}
+
+    A snapshot (see {!Snapshot} for the file format) holds the segment
+    set plus, by default, a marshaled image of the live index. Opening
+    a snapshot written by the same executable restores the image —
+    no rebuild, cold buffer pool, so the first queries measure the
+    paper's cold-open cost; any other reader falls back to rebuilding
+    from the segment section and answers identically.
+
+    A write-ahead log makes [insert]/[delete] durable between
+    snapshots: each operation is appended (and fsynced, by default) to
+    the log before the index is touched, and {!attach_wal} replays the
+    log's intact prefix — acknowledged operations survive a crash, torn
+    tails are truncated. {!checkpoint} snapshots and then empties the
+    log. *)
+
+val save : ?image:bool -> t -> string -> unit
+(** Writes a snapshot atomically (temp file + rename). [image:false]
+    omits the marshaled index — smaller and binary-independent, at the
+    cost of a rebuild on open. *)
+
+val open_db : ?use_image:bool -> string -> t
+(** Reopens a snapshot; [use_image:false] forces the rebuild path.
+    Raises {!Snapshot.Corrupt_snapshot} on a damaged file. *)
+
+type open_mode = Restored_image | Rebuilt
+
+val open_db_mode : ?use_image:bool -> string -> t * open_mode
+(** Like {!open_db}, also reporting which path was taken. *)
+
+val attach_wal : ?sync:bool -> t -> string -> int
+(** Opens (creating if absent) the WAL at the path, truncates a torn
+    tail, replays the surviving records into the index, and attaches the
+    log so subsequent [insert]/[delete] are logged. Returns the number
+    of records replayed. [sync] (default true) fsyncs every append. *)
+
+val wal_path : t -> string option
+val detach_wal : t -> unit
+
+val checkpoint : ?image:bool -> t -> string -> unit
+(** {!save}, then truncate the attached WAL (if any): the snapshot now
+    carries everything the log did. *)
 
 (** {1 Fixed-slope query families}
 

@@ -141,6 +141,8 @@ let query t (q : Vquery.t) ~f =
   in
   go t.root
 
+let iter_all t ~f = Hashtbl.iter (fun _ s -> f s) t.by_id
+
 (* ---------------- insertion ---------------- *)
 
 let node_size t addr =

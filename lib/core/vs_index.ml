@@ -25,6 +25,7 @@ module type S = sig
   val insert : t -> Segment.t -> unit
   val delete : t -> Segment.t -> bool
   val query : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+  val iter_all : t -> f:(Segment.t -> unit) -> unit
   val size : t -> int
   val block_count : t -> int
 end

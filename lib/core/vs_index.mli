@@ -40,6 +40,12 @@ module type S = sig
   (** Calls [f] exactly once per stored segment intersecting the
       query. *)
 
+  val iter_all : t -> f:(Segment.t -> unit) -> unit
+  (** Calls [f] exactly once per stored segment, in unspecified order —
+      the enumeration snapshots and audits are built on. Backends that
+      materialize segments by id answer from that table; block-resident
+      backends scan their blocks and are charged the I/O. *)
+
   val size : t -> int
   val block_count : t -> int
 end

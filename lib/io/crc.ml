@@ -1,0 +1,30 @@
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let init = 0xFFFFFFFF
+
+let update acc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc.update: out of bounds";
+  let t = Lazy.force table in
+  let acc = ref acc in
+  for i = pos to pos + len - 1 do
+    acc := t.((!acc lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!acc lsr 8)
+  done;
+  !acc
+
+let finish acc = acc lxor 0xFFFFFFFF
+
+let string s = finish (update init s ~pos:0 ~len:(String.length s))
+
+let bytes b ~pos ~len =
+  finish (update init (Bytes.unsafe_to_string b) ~pos ~len)

@@ -1,0 +1,92 @@
+(** File-backed secondary storage: the {!Block_store} contract over a
+    real file.
+
+    The store divides the file into fixed-size pages. Page 0 is the
+    superblock (magic, version, page size, page count, a root-address
+    slot, CRC); every other page carries a 9-byte header and payload
+    bytes. A block is an {e extent}: a chain of one or more pages whose
+    first page number is the block's address, so addresses are stable
+    across payload growth and across process restarts. Payloads are
+    encoded with the per-payload {!Codec}; payloads larger than one page
+    spill into continuation pages, and a free list recycles pages from
+    freed or shrunken extents.
+
+    A bounded LRU cache of {e decoded} payloads fronts the file, exactly
+    like the buffer pool of the in-memory {!Block_store}, and the same
+    accounting applies: a cache miss charges one read per page fetched
+    ([pread]), a dirty eviction or flush charges one write per page
+    written ([pwrite]), resident accesses are free. With payloads that
+    fit one page the counters match the in-memory store's line for line
+    — the paper's I/O counts become counts of real syscalls.
+
+    Durability: {!sync} (and {!close}) makes the file reflect the
+    logical contents — payloads, tombstones of freed blocks, superblock
+    — and fsyncs. Between syncs the on-disk image may be stale; crash
+    recovery of acknowledged updates is the {!Wal}'s job, not this
+    module's. Metadata writes at sync (tombstones, superblock) are not
+    charged as block transfers. *)
+
+exception Corrupt_store of string
+(** Raised by {!Make.open_existing} on a bad magic, version, CRC, or
+    page chain. *)
+
+module Make (P : sig
+  type t
+
+  val codec : t Codec.t
+end) : sig
+  type t
+
+  val create :
+    ?name:string ->
+    ?page_size:int ->
+    ?cache_blocks:int ->
+    stats:Io_stats.t ->
+    path:string ->
+    unit ->
+    t
+  (** Creates (truncating) [path]. [page_size] defaults to 4096 bytes,
+      [cache_blocks] — the LRU capacity in blocks — to 64. *)
+
+  val open_existing :
+    ?name:string -> ?cache_blocks:int -> stats:Io_stats.t -> path:string -> unit -> t
+  (** Opens an existing store, rebuilding the live-block directory and
+      free list from the page headers. The page size is read from the
+      superblock. Raises {!Corrupt_store} on a damaged file. *)
+
+  (** The {!Block_store} contract: *)
+
+  val alloc : t -> P.t -> Block_store.addr
+  val read : t -> Block_store.addr -> P.t
+  val write : t -> Block_store.addr -> P.t -> unit
+  val free : t -> Block_store.addr -> unit
+  val flush : t -> unit
+  val block_count : t -> int
+  val stats : t -> Io_stats.t
+
+  (** File lifecycle: *)
+
+  val sync : t -> unit
+  (** {!flush}, then persist tombstones and the superblock, then
+      [fsync]. *)
+
+  val close : t -> unit
+  (** {!sync}, then close the descriptor. The handle must not be used
+      afterwards. *)
+
+  val set_root : t -> Block_store.addr -> unit
+  (** Stores a distinguished address in the superblock (persisted at
+      {!sync}) so a structure can find its entry point on reopen. *)
+
+  val root : t -> Block_store.addr
+
+  val path : t -> string
+  val page_size : t -> int
+
+  val live_addrs : t -> Block_store.addr list
+  (** Live block addresses, ascending. *)
+
+  val page_count : t -> int
+  (** Pages in the file, superblock included: the file's size in
+      pages. *)
+end

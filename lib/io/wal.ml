@@ -1,0 +1,85 @@
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  sync_every_append : bool;
+  mutable bytes : int;
+  mutable count : int;
+}
+
+let frame_overhead = 8 (* len u32 | crc u32 *)
+
+(* Longest valid prefix of [data]: the records it frames and the byte
+   offset where the first torn or corrupt frame starts. *)
+let valid_prefix data =
+  let len = String.length data in
+  let records = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if !pos + frame_overhead > len then stop := true
+    else begin
+      let r = Codec.R.of_string ~pos:!pos data in
+      let n = Codec.R.u32 r in
+      let crc = Codec.R.u32 r in
+      if n > len - !pos - frame_overhead then stop := true
+      else begin
+        let payload = String.sub data (!pos + frame_overhead) n in
+        if Crc.string payload <> crc then stop := true
+        else begin
+          records := payload :: !records;
+          pos := !pos + frame_overhead + n
+        end
+      end
+    end
+  done;
+  (List.rev !records, !pos)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan path =
+  if not (Sys.file_exists path) then []
+  else fst (valid_prefix (read_file path))
+
+let open_ ?(sync = true) path =
+  let existing = if Sys.file_exists path then read_file path else "" in
+  let records, valid = valid_prefix existing in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  if String.length existing > valid then Unix.ftruncate fd valid;
+  ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  ( { path; fd; sync_every_append = sync; bytes = valid; count = List.length records },
+    records )
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let put = ref 0 in
+  while !put < len do
+    put := !put + Unix.write fd buf !put (len - !put)
+  done
+
+let append t payload =
+  let b = Buffer.create (frame_overhead + String.length payload) in
+  Codec.W.u32 b (String.length payload);
+  Codec.W.u32 b (Crc.string payload);
+  Buffer.add_string b payload;
+  write_all t.fd (Buffer.to_bytes b);
+  t.bytes <- t.bytes + Buffer.length b;
+  t.count <- t.count + 1;
+  if t.sync_every_append then Unix.fsync t.fd
+
+let sync t = Unix.fsync t.fd
+
+let reset t =
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  t.bytes <- 0;
+  t.count <- 0;
+  Unix.fsync t.fd
+
+let size t = t.bytes
+let records t = t.count
+let path t = t.path
+let close t = Unix.close t.fd

@@ -1,0 +1,45 @@
+(** Write-ahead log: an append-only file of CRC-framed records.
+
+    Each record is framed as [len: u32 | crc32(payload): u32 | payload].
+    A reader accepts the longest prefix of intact frames and treats
+    everything after the first torn or corrupt frame — a crash mid-
+    [append] — as garbage, so recovery after a torn write is: replay the
+    valid prefix, truncate the rest. {!open_} does exactly that.
+
+    The databases log an operation {e before} applying it to the index;
+    replay-on-open then restores every acknowledged operation after a
+    crash, and a checkpoint ({!reset} after a snapshot) bounds the log's
+    length. Payloads are opaque bytes — the caller owns the record
+    encoding (see [Segdb]'s insert/delete records). *)
+
+type t
+
+val open_ : ?sync:bool -> string -> t * string list
+(** Opens (creating if absent) the log at the path, repairs a torn tail
+    by truncating the file to its valid prefix, and returns the handle
+    together with the surviving records in append order. When [sync] is
+    true (the default) every {!append} is followed by an [fsync], which
+    is what makes an insert "acknowledged"; pass [~sync:false] for bulk
+    loads and tests. *)
+
+val scan : string -> string list
+(** The valid records of the log at the path, in order, without opening
+    it for append or repairing it. [[]] if the file does not exist. *)
+
+val append : t -> string -> unit
+(** Appends one record (durably, if the log was opened with [sync]). *)
+
+val sync : t -> unit
+(** Explicit [fsync], for logs opened with [~sync:false]. *)
+
+val reset : t -> unit
+(** Checkpoint: truncates the log to empty. *)
+
+val size : t -> int
+(** Current length of the log in bytes. *)
+
+val records : t -> int
+(** Records appended or replayed through this handle since open. *)
+
+val path : t -> string
+val close : t -> unit

@@ -382,3 +382,311 @@ let prop_sloped_facade =
 let suite =
   let name, cases = suite in
   (name, cases @ [ qtest prop_sloped_facade ])
+
+(* ---------------- persistence: snapshot + WAL ---------------- *)
+
+let all_backend_tags = List.map snd Db.all_backends
+
+let pers_workload seed n =
+  let rng = Rng.create seed in
+  W.roads rng ~n ~span:100.0
+
+let pers_queries segs =
+  let xs =
+    if Array.length segs = 0 then [ 50.0 ]
+    else
+      [
+        segs.(0).Segment.x1;
+        segs.(Array.length segs / 2).Segment.x2;
+        25.0;
+        50.0;
+        75.0;
+      ]
+  in
+  List.concat_map
+    (fun x ->
+      [ Vquery.line ~x; Vquery.segment ~x ~ylo:10.0 ~yhi:60.0; Vquery.ray_up ~x ~ylo:40.0 ])
+    xs
+
+let answers db queries = List.map (fun q -> List.sort compare (Db.query_ids db q)) queries
+
+let with_tmp ext f =
+  let path = Filename.temp_file "segdb_pers" ext in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* Acceptance: save then open answers identical workloads, per backend,
+   on BOTH open paths — the marshaled-image restore and the rebuild. *)
+let test_snapshot_roundtrip () =
+  let segs = pers_workload 42 200 in
+  let queries = pers_queries segs in
+  List.iter
+    (fun backend ->
+      with_tmp ".snap" (fun path ->
+          let db = Db.create ~backend ~block:16 segs in
+          let expect = answers db queries in
+          Db.save db path;
+          let restored, mode = Db.open_db_mode path in
+          Alcotest.(check bool)
+            (Db.backend_name db ^ ": image restored")
+            true (mode = Db.Restored_image);
+          Alcotest.(check bool)
+            (Db.backend_name db ^ ": same backend")
+            true
+            (Db.backend restored = backend);
+          Alcotest.(check int)
+            (Db.backend_name db ^ ": size")
+            (Db.size db) (Db.size restored);
+          if answers restored queries <> expect then
+            Alcotest.failf "%s: restored image answers differ" (Db.backend_name db);
+          let rebuilt, mode = Db.open_db_mode ~use_image:false path in
+          Alcotest.(check bool)
+            (Db.backend_name db ^ ": rebuild forced")
+            true (mode = Db.Rebuilt);
+          if answers rebuilt queries <> expect then
+            Alcotest.failf "%s: rebuilt answers differ" (Db.backend_name db)))
+    all_backend_tags
+
+let test_snapshot_no_image () =
+  let segs = pers_workload 7 120 in
+  with_tmp ".snap" (fun path ->
+      let db = Db.create ~backend:`Solution2 segs in
+      Db.save ~image:false db path;
+      let restored, mode = Db.open_db_mode path in
+      Alcotest.(check bool) "no image -> rebuilt" true (mode = Db.Rebuilt);
+      let queries = pers_queries segs in
+      Alcotest.(check bool) "answers equal" true (answers restored queries = answers db queries))
+
+let test_snapshot_corrupt () =
+  with_tmp ".snap" (fun path ->
+      let db = Db.create ~backend:`Naive (pers_workload 3 30) in
+      Db.save db path;
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* flip a byte in the middle: some CRC must catch it *)
+      let b = Bytes.of_string data in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      match Db.open_db path with
+      | exception Segdb_core.Snapshot.Corrupt_snapshot _ -> ()
+      | _ -> Alcotest.fail "bit flip must be detected")
+
+(* Crash recovery: acknowledged inserts/deletes survive a process that
+   never saved. The "crash" drops the db without checkpointing; reopen
+   replays the WAL into a fresh index. *)
+let test_wal_recovery () =
+  let base = pers_workload 11 100 in
+  let extra = pers_workload 12 160 in
+  with_tmp ".wal" (fun wal_path ->
+      Sys.remove wal_path;
+      List.iter
+        (fun backend ->
+          if Sys.file_exists wal_path then Sys.remove wal_path;
+          let db = Db.create ~backend ~block:16 base in
+          let replayed = Db.attach_wal ~sync:false db wal_path in
+          Alcotest.(check int) "fresh wal" 0 replayed;
+          (* new ids, disjoint from base *)
+          Array.iteri
+            (fun i (s : Segment.t) ->
+              if i >= 100 then
+                Db.insert db
+                  (Segment.make ~id:(1000 + s.Segment.id)
+                     (s.Segment.x1, s.Segment.y1)
+                     (s.Segment.x2, s.Segment.y2)))
+            extra;
+          let doomed = base.(0) in
+          ignore (Db.delete db doomed);
+          let queries = pers_queries base in
+          let expect = answers db queries in
+          let n = Db.size db in
+          Db.detach_wal db;
+          (* crash: db dropped, only base segments + the log survive *)
+          let db2 = Db.create ~backend ~block:16 base in
+          let replayed = Db.attach_wal ~sync:false db2 wal_path in
+          Alcotest.(check int)
+            (Db.backend_name db ^ ": all ops replayed")
+            61 replayed;
+          Alcotest.(check int) (Db.backend_name db ^ ": size recovered") n (Db.size db2);
+          if answers db2 queries <> expect then
+            Alcotest.failf "%s: recovered answers differ" (Db.backend_name db);
+          Db.detach_wal db2)
+        all_backend_tags)
+
+(* The acceptance criterion, end to end: truncate the WAL file at every
+   byte offset; reopening recovers exactly the acknowledged prefix. *)
+let test_wal_truncation_sweep () =
+  let base = pers_workload 21 40 in
+  with_tmp ".wal" (fun wal_path ->
+      Sys.remove wal_path;
+      let db = Db.create ~backend:`Solution2 ~block:16 base in
+      ignore (Db.attach_wal ~sync:false db wal_path);
+      let ops = 12 in
+      for i = 0 to ops - 1 do
+        Db.insert db (Segment.make ~id:(2000 + i) (float_of_int i, 200.0) (float_of_int i +. 5.0, 201.0))
+      done;
+      Db.detach_wal db;
+      let data =
+        let ic = open_in_bin wal_path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let frame = String.length data / ops in
+      Alcotest.(check int) "op frames are fixed-size" 49 frame;
+      with_tmp ".wal" (fun torn ->
+          for len = 0 to String.length data do
+            let oc = open_out_bin torn in
+            output_string oc (String.sub data 0 len);
+            close_out oc;
+            let db2 = Db.create ~backend:`Solution2 ~block:16 base in
+            let replayed = Db.attach_wal ~sync:false db2 torn in
+            let expect = len / frame in
+            if replayed <> expect then
+              Alcotest.failf "truncation at %d: replayed %d, expected %d" len replayed expect;
+            if Db.size db2 <> Array.length base + expect then
+              Alcotest.failf "truncation at %d: size %d, expected %d" len (Db.size db2)
+                (Array.length base + expect);
+            Db.detach_wal db2
+          done))
+
+let test_checkpoint () =
+  let base = pers_workload 31 80 in
+  with_tmp ".snap" (fun snap_path ->
+      with_tmp ".wal" (fun wal_path ->
+          Sys.remove wal_path;
+          let db = Db.create ~backend:`Solution1 base in
+          ignore (Db.attach_wal ~sync:false db wal_path);
+          for i = 0 to 9 do
+            Db.insert db (Segment.make ~id:(3000 + i) (float_of_int i, 150.0) (float_of_int i +. 3.0, 151.0))
+          done;
+          Db.checkpoint db snap_path;
+          Alcotest.(check int)
+            "wal empty after checkpoint" 0
+            (Unix.stat wal_path).Unix.st_size;
+          (* ops after the checkpoint land in the (now empty) log *)
+          Db.insert db (Segment.make ~id:4000 (0.0, 160.0) (5.0, 161.0));
+          let queries = pers_queries base in
+          let expect = answers db queries in
+          let n = Db.size db in
+          Db.detach_wal db;
+          (* recover: snapshot + post-checkpoint log *)
+          let db2 = Db.open_db snap_path in
+          let replayed = Db.attach_wal ~sync:false db2 wal_path in
+          Alcotest.(check int) "one post-checkpoint record" 1 replayed;
+          Alcotest.(check int) "size recovered" n (Db.size db2);
+          Alcotest.(check bool) "answers equal" true (answers db2 queries = expect);
+          Db.detach_wal db2))
+
+(* Replay is idempotent: attaching the same log twice (snapshot already
+   contains the ops) must not duplicate or abort. *)
+let test_wal_replay_idempotent () =
+  let base = pers_workload 41 50 in
+  with_tmp ".snap" (fun snap_path ->
+      with_tmp ".wal" (fun wal_path ->
+          Sys.remove wal_path;
+          let db = Db.create ~backend:`Solution2 base in
+          ignore (Db.attach_wal ~sync:false db wal_path);
+          for i = 0 to 4 do
+            Db.insert db (Segment.make ~id:(5000 + i) (float_of_int i, 170.0) (float_of_int i +. 2.0, 171.0))
+          done;
+          (* save WITHOUT resetting the log: the snapshot already holds
+             the logged inserts *)
+          Db.save db snap_path;
+          let n = Db.size db in
+          Db.detach_wal db;
+          let db2 = Db.open_db snap_path in
+          let replayed = Db.attach_wal ~sync:false db2 wal_path in
+          Alcotest.(check int) "records replayed" 5 replayed;
+          Alcotest.(check int) "no duplicates" n (Db.size db2);
+          Db.detach_wal db2))
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "snapshot roundtrip, all backends" `Quick test_snapshot_roundtrip;
+        Alcotest.test_case "snapshot without image rebuilds" `Quick test_snapshot_no_image;
+        Alcotest.test_case "snapshot rejects bit flips" `Quick test_snapshot_corrupt;
+        Alcotest.test_case "wal crash recovery, all backends" `Quick test_wal_recovery;
+        Alcotest.test_case "wal truncation sweep (segdb)" `Quick test_wal_truncation_sweep;
+        Alcotest.test_case "checkpoint truncates the log" `Quick test_checkpoint;
+        Alcotest.test_case "wal replay idempotent over snapshot" `Quick test_wal_replay_idempotent;
+      ] )
+
+(* Fresh-process round-trip: a snapshot written here is reopened by
+   segdb_cli (a different executable, so the rebuild path) which must
+   print identical ids and query answers. This is the acceptance
+   criterion's "fresh process". *)
+
+let cli_exe =
+  (* the (deps %{exe:...}) stanza puts the binary next to the test cwd *)
+  List.find_opt Sys.file_exists
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/segdb_cli.exe";
+      "../bin/segdb_cli.exe";
+    ]
+
+let run_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let rec go acc = match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = go [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> lines
+  | _ -> Alcotest.failf "command failed: %s" cmd
+
+let test_fresh_process_roundtrip () =
+  match cli_exe with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let segs = pers_workload 55 150 in
+      List.iter
+        (fun backend ->
+          with_tmp ".snap" (fun snap ->
+              let db = Db.create ~backend ~block:16 segs in
+              Db.save db snap;
+              let expect_ids =
+                Array.to_list (Db.segments db)
+                |> List.map (fun (s : Segment.t) -> string_of_int s.Segment.id)
+              in
+              let got_ids =
+                run_lines (Filename.quote_command exe [ "open"; snap; "--ids" ])
+                |> List.filter (fun l -> not (String.length l > 0 && l.[0] = 'o'))
+              in
+              Alcotest.(check (list string))
+                (Db.backend_name db ^ ": ids across processes")
+                expect_ids got_ids;
+              let x = segs.(75).Segment.x1 in
+              let expect_q =
+                Db.query_ids db (Vquery.segment ~x ~ylo:10.0 ~yhi:80.0)
+                |> List.sort compare
+                |> List.map string_of_int
+              in
+              let got_q =
+                run_lines
+                  (Filename.quote_command exe
+                     [ "open"; snap; "-x"; Printf.sprintf "%.17g" x; "--ylo"; "10"; "--yhi"; "80" ])
+                |> List.filter (fun l ->
+                       String.length l > 0 && (l.[0] >= '0' && l.[0] <= '9'))
+              in
+              Alcotest.(check (list string))
+                (Db.backend_name db ^ ": query answers across processes")
+                expect_q got_q))
+        [ `Naive; `Solution2 ]
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [ Alcotest.test_case "fresh-process snapshot roundtrip" `Quick test_fresh_process_roundtrip ] )

@@ -162,6 +162,74 @@ let test_store_write_nonresident_no_read () =
   Alcotest.(check int) "blind overwrite charges no read" r0 (Io_stats.reads io);
   Alcotest.(check int) "value updated" 10 (S.read s a)
 
+(* Satellite pin for block_store.mli's write contract: overwriting a
+   non-resident block charges no read at write time, and the dirty page
+   is charged exactly one write when evicted or flushed. *)
+let test_store_blind_write_accounting () =
+  let s, io, _ = mk ~cap:1 () in
+  let a = S.alloc s 1 in
+  let _b = S.alloc s 2 in
+  (* alloc b evicted dirty a: 1 write *)
+  Alcotest.(check int) "setup eviction" 1 (Io_stats.writes io);
+  S.write s a 10;
+  (* blind overwrite of non-resident a: no read, no write yet; inserting
+     the frame evicted dirty b: +1 write *)
+  Alcotest.(check int) "no read charged" 0 (Io_stats.reads io);
+  Alcotest.(check int) "only b's eviction charged" 2 (Io_stats.writes io);
+  S.flush s;
+  (* the overwritten page pays exactly one write at flush *)
+  Alcotest.(check int) "one write on flush" 3 (Io_stats.writes io);
+  S.flush s;
+  Alcotest.(check int) "clean after flush" 3 (Io_stats.writes io);
+  Alcotest.(check int) "value survived" 10 (S.read s a);
+  Alcotest.(check int) "still no spurious reads" 0 (Io_stats.reads io)
+
+(* Two stores on one pool: eviction order is the pool's LRU order across
+   both stores, and only dirty evictions are charged as writes. *)
+let test_shared_pool_eviction_order () =
+  let pool = Block_store.Pool.create ~capacity:2 in
+  let io = Io_stats.create () in
+  let s1 = S.create ~name:"s1" ~pool ~stats:io () in
+  let s2 = S.create ~name:"s2" ~pool ~stats:io () in
+  let a = S.alloc s1 1 in
+  let b = S.alloc s2 2 in
+  (* recency now [b; a]; touching a flips it *)
+  Alcotest.(check int) "touch a" 1 (S.read s1 a);
+  let c = S.alloc s2 3 in
+  (* b was LRU: evicted dirty -> 1 write; a survived *)
+  Alcotest.(check int) "b evicted dirty" 1 (Io_stats.writes io);
+  Alcotest.(check int) "a still resident (no read)" 0 (Io_stats.reads io);
+  Alcotest.(check int) "a readable" 1 (S.read s1 a);
+  (* clean pages evict for free: flush both stores, then miss on b *)
+  S.flush s1;
+  S.flush s2;
+  let w0 = Io_stats.writes io in
+  Alcotest.(check int) "read b back" 2 (S.read s2 b);
+  (* b's return evicted the pool's LRU (a or c, both clean): no write *)
+  Alcotest.(check int) "clean eviction uncharged" w0 (Io_stats.writes io);
+  Alcotest.(check int) "miss charged" 1 (Io_stats.reads io);
+  Alcotest.(check bool) "pool bounded" true (Block_store.Pool.resident pool <= 2);
+  ignore c
+
+(* Dirty write-back counting when both stores churn through a tiny pool:
+   every resident dirty page is written back exactly once. *)
+let test_shared_pool_writeback_count () =
+  let pool = Block_store.Pool.create ~capacity:2 in
+  let io = Io_stats.create () in
+  let s1 = S.create ~name:"s1" ~pool ~stats:io () in
+  let s2 = S.create ~name:"s2" ~pool ~stats:io () in
+  let n = 6 in
+  let a1 = Array.init n (fun i -> S.alloc s1 i) in
+  let a2 = Array.init n (fun i -> S.alloc s2 (100 + i)) in
+  (* 2n dirty allocations through a 2-frame pool: all but the final two
+     residents were evicted dirty *)
+  Alcotest.(check int) "evictions charged" ((2 * n) - 2) (Io_stats.writes io);
+  S.flush s1;
+  S.flush s2;
+  Alcotest.(check int) "flush writes the rest" (2 * n) (Io_stats.writes io);
+  Array.iteri (fun i a -> Alcotest.(check int) "s1 contents" i (S.read s1 a)) a1;
+  Array.iteri (fun i a -> Alcotest.(check int) "s2 contents" (100 + i) (S.read s2 a)) a2
+
 (* Two stores sharing one pool compete for frames. *)
 let test_shared_pool () =
   let pool = Block_store.Pool.create ~capacity:2 in
@@ -211,7 +279,13 @@ let suite =
       Alcotest.test_case "store free/errors" `Quick test_store_free_and_errors;
       Alcotest.test_case "store flush" `Quick test_store_flush;
       Alcotest.test_case "store blind write" `Quick test_store_write_nonresident_no_read;
+      Alcotest.test_case "store blind write accounting pin" `Quick
+        test_store_blind_write_accounting;
       Alcotest.test_case "shared pool" `Quick test_shared_pool;
+      Alcotest.test_case "shared pool eviction order" `Quick
+        test_shared_pool_eviction_order;
+      Alcotest.test_case "shared pool write-back count" `Quick
+        test_shared_pool_writeback_count;
       qtest prop_lru_model;
       qtest prop_store_model;
     ] )
@@ -283,4 +357,374 @@ let suite =
         Alcotest.test_case "extsort io scaling" `Quick test_extsort_io_scaling;
         qtest prop_extsort_correct;
         qtest prop_extsort_stable;
+      ] )
+
+(* ---------------- Crc ---------------- *)
+
+let test_crc_vectors () =
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc.string "");
+  Alcotest.(check bool) "distinct" true (Crc.string "abc" <> Crc.string "abd")
+
+let prop_crc_incremental =
+  QCheck.Test.make ~name:"crc incremental equals one-shot" ~count:200
+    QCheck.(pair (small_string) (small_string))
+    (fun (a, b) ->
+      let s = a ^ b in
+      let acc = Crc.update Crc.init a ~pos:0 ~len:(String.length a) in
+      let acc = Crc.update acc (a ^ b) ~pos:(String.length a) ~len:(String.length b) in
+      Crc.finish acc = Crc.string s)
+
+(* ---------------- Codec ---------------- *)
+
+let prop_codec_roundtrip =
+  let c =
+    Codec.(pair int (pair float (pair string (pair bool (list (option int))))))
+  in
+  QCheck.Test.make ~name:"codec roundtrip" ~count:300
+    QCheck.(
+      quad int float (printable_string)
+        (pair bool (small_list (option int))))
+    (fun (i, f, s, (b, l)) ->
+      let v = (i, (f, (s, (b, l)))) in
+      let d = Codec.decode c (Codec.encode c v) in
+      (* distinguish nan from nan by bits, not by (=) *)
+      let (i', (f', rest')) = d and (_, (_, rest)) = v in
+      i' = i && Int64.bits_of_float f' = Int64.bits_of_float f && rest' = rest)
+
+let test_codec_corrupt () =
+  let s = Codec.encode Codec.int 42 in
+  (match Codec.decode Codec.int (s ^ "x") with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "trailing bytes must raise");
+  (match Codec.decode Codec.int (String.sub s 0 4) with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncation must raise");
+  match Codec.decode Codec.(array int) "\xff\xff\xff\xff" with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "huge array length must raise"
+
+(* ---------------- File_store ---------------- *)
+
+module FS = File_store.Make (struct
+  type t = int array
+
+  let codec = Codec.(array int)
+end)
+
+let tmpfile () = Filename.temp_file "segdb_fstore" ".blk"
+
+let with_store ?(page_size = 4096) ?(cache_blocks = 4) f =
+  let path = tmpfile () in
+  let io = Io_stats.create () in
+  let s = FS.create ~page_size ~cache_blocks ~stats:io ~path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path io s)
+
+let test_fstore_roundtrip () =
+  with_store (fun _ _ s ->
+      let a = FS.alloc s [| 10 |] and b = FS.alloc s [| 20; 21 |] in
+      Alcotest.(check (array int)) "read a" [| 10 |] (FS.read s a);
+      Alcotest.(check (array int)) "read b" [| 20; 21 |] (FS.read s b);
+      FS.write s a [| 11 |];
+      Alcotest.(check (array int)) "after write" [| 11 |] (FS.read s a);
+      Alcotest.(check int) "live blocks" 2 (FS.block_count s);
+      FS.close s)
+
+(* The in-memory store's accounting battery, replayed against the file:
+   identical charges for single-page payloads. *)
+let test_fstore_accounting () =
+  with_store ~cache_blocks:2 (fun _ io s ->
+      let a = FS.alloc s [| 1 |] in
+      let b = FS.alloc s [| 2 |] in
+      let c = FS.alloc s [| 3 |] in
+      Alcotest.(check int) "write on dirty eviction" 1 (Io_stats.writes io);
+      Alcotest.(check (array int)) "read back a" [| 1 |] (FS.read s a);
+      Alcotest.(check int) "read charged" 1 (Io_stats.reads io);
+      Alcotest.(check int) "second dirty eviction" 2 (Io_stats.writes io);
+      ignore (FS.read s c);
+      ignore b;
+      FS.close s)
+
+let test_fstore_blind_write () =
+  with_store ~cache_blocks:1 (fun _ io s ->
+      let a = FS.alloc s [| 1 |] in
+      let _b = FS.alloc s [| 2 |] in
+      let r0 = Io_stats.reads io in
+      FS.write s a [| 10 |];
+      Alcotest.(check int) "blind overwrite charges no read" r0 (Io_stats.reads io);
+      Alcotest.(check (array int)) "value updated" [| 10 |] (FS.read s a);
+      FS.close s)
+
+let test_fstore_free_errors () =
+  with_store (fun _ _ s ->
+      let a = FS.alloc s [| 5 |] in
+      FS.free s a;
+      Alcotest.(check int) "no live blocks" 0 (FS.block_count s);
+      (match FS.read s a with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "read after free should raise");
+      (match FS.free s a with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "double free should raise");
+      FS.close s)
+
+let test_fstore_persistence () =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let io = Io_stats.create () in
+      let s = FS.create ~page_size:256 ~cache_blocks:4 ~stats:io ~path () in
+      let addrs = Array.init 20 (fun i -> FS.alloc s (Array.init (i mod 7) (fun j -> (i * 100) + j))) in
+      FS.set_root s addrs.(3);
+      FS.close s;
+      (* a different process would do exactly this *)
+      let io2 = Io_stats.create () in
+      let s2 = FS.open_existing ~cache_blocks:4 ~stats:io2 ~path () in
+      Alcotest.(check int) "live blocks survive" 20 (FS.block_count s2);
+      Alcotest.(check int) "root survives" addrs.(3) (FS.root s2);
+      Alcotest.(check int) "page size from superblock" 256 (FS.page_size s2);
+      Array.iteri
+        (fun i a ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "block %d" i)
+            (Array.init (i mod 7) (fun j -> (i * 100) + j))
+            (FS.read s2 a))
+        addrs;
+      Alcotest.(check bool) "cold reads charged" true (Io_stats.reads io2 >= 16);
+      FS.close s2)
+
+let test_fstore_multipage () =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let io = Io_stats.create () in
+      (* page payload capacity 64 - 9 = 55 bytes: a 100-int array (804
+         bytes with the length prefix) needs 15 pages *)
+      let s = FS.create ~page_size:64 ~cache_blocks:2 ~stats:io ~path () in
+      let big = Array.init 100 (fun i -> i * i) in
+      let a = FS.alloc s big in
+      let small = FS.alloc s [| 7 |] in
+      FS.flush s;
+      let w = Io_stats.writes io in
+      Alcotest.(check bool) "multi-page write charged per page" true (w >= 15);
+      let pages_before = FS.page_count s in
+      (* shrink: surplus pages go to the free list and are reused *)
+      FS.write s a [| 1; 2 |];
+      FS.flush s;
+      let b = FS.alloc s (Array.init 50 (fun i -> i)) in
+      FS.flush s;
+      Alcotest.(check bool) "shrink + realloc reuses pages"
+        true
+        (FS.page_count s <= pages_before + 1);
+      FS.close s;
+      let io2 = Io_stats.create () in
+      let s2 = FS.open_existing ~stats:io2 ~path () in
+      Alcotest.(check (array int)) "shrunk block" [| 1; 2 |] (FS.read s2 a);
+      Alcotest.(check (array int)) "small block" [| 7 |] (FS.read s2 small);
+      Alcotest.(check (array int)) "reused-page block" (Array.init 50 (fun i -> i)) (FS.read s2 b);
+      FS.close s2)
+
+let test_fstore_free_reuse () =
+  with_store (fun _ _ s ->
+      let a = FS.alloc s [| 1 |] in
+      let _b = FS.alloc s [| 2 |] in
+      let pages = FS.page_count s in
+      FS.free s a;
+      let c = FS.alloc s [| 3 |] in
+      Alcotest.(check int) "freed page reused" pages (FS.page_count s);
+      Alcotest.(check (array int)) "new contents" [| 3 |] (FS.read s c);
+      FS.close s)
+
+let test_fstore_corrupt () =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a block store at all.....";
+      close_out oc;
+      match FS.open_existing ~stats:(Io_stats.create ()) ~path () with
+      | exception File_store.Corrupt_store _ -> ()
+      | _ -> Alcotest.fail "garbage must be rejected")
+
+let prop_fstore_model =
+  QCheck.Test.make ~name:"file store read-your-writes under eviction" ~count:60
+    QCheck.(pair (int_range 1 6) (small_list (pair (int_range 0 9) (int_range 0 999))))
+    (fun (cap, writes) ->
+      let path = tmpfile () in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let io = Io_stats.create () in
+          let s = FS.create ~page_size:64 ~cache_blocks:cap ~stats:io ~path () in
+          let addr_of = Hashtbl.create 16 in
+          let model = Hashtbl.create 16 in
+          List.iter
+            (fun (k, v) ->
+              (* variable payload sizes exercise extent growth/shrink *)
+              let payload = Array.make (1 + (v mod 40)) v in
+              (match Hashtbl.find_opt addr_of k with
+              | None -> Hashtbl.add addr_of k (FS.alloc s payload)
+              | Some a -> FS.write s a payload);
+              Hashtbl.replace model k payload)
+            writes;
+          let ok =
+            Hashtbl.fold
+              (fun k a ok -> ok && FS.read s a = Hashtbl.find model k)
+              addr_of true
+          in
+          (* and across a close/open boundary *)
+          FS.close s;
+          let s2 = FS.open_existing ~stats:(Io_stats.create ()) ~path () in
+          let ok2 =
+            Hashtbl.fold
+              (fun k a ok -> ok && FS.read s2 a = Hashtbl.find model k)
+              addr_of ok
+          in
+          FS.close s2;
+          ok2))
+
+(* ---------------- Wal ---------------- *)
+
+let test_wal_roundtrip () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w, replayed = Wal.open_ ~sync:false path in
+      Alcotest.(check (list string)) "fresh log" [] replayed;
+      Wal.append w "alpha";
+      Wal.append w "";
+      Wal.append w (String.make 1000 'z');
+      Wal.close w;
+      let w2, replayed = Wal.open_ ~sync:false path in
+      Alcotest.(check (list string))
+        "records survive" [ "alpha"; ""; String.make 1000 'z' ] replayed;
+      Wal.append w2 "omega";
+      Wal.close w2;
+      Alcotest.(check (list string))
+        "scan sees appended"
+        [ "alpha"; ""; String.make 1000 'z'; "omega" ]
+        (Wal.scan path))
+
+let test_wal_reset () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w, _ = Wal.open_ ~sync:false path in
+      Wal.append w "a";
+      Wal.append w "b";
+      Wal.reset w;
+      Alcotest.(check int) "empty after reset" 0 (Wal.size w);
+      Wal.append w "c";
+      Wal.close w;
+      Alcotest.(check (list string)) "only post-reset records" [ "c" ] (Wal.scan path))
+
+(* The acceptance test: truncate the log at EVERY byte offset; recovery
+   must accept exactly the complete frames and repair the file. *)
+let test_wal_torn_tail_sweep () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  let torn = Filename.temp_file "segdb_wal" ".torn" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove torn)
+    (fun () ->
+      let payloads = [ "a"; ""; "bcd"; String.make 57 'x'; "e"; "fg" ] in
+      let w, _ = Wal.open_ ~sync:false path in
+      List.iter (Wal.append w) payloads;
+      Wal.close w;
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* frame boundaries: 8 bytes of framing per record *)
+      let boundaries =
+        List.fold_left
+          (fun acc p -> (List.hd acc + 8 + String.length p) :: acc)
+          [ 0 ] payloads
+        |> List.rev
+      in
+      let expected_at len =
+        let rec go ps bs acc =
+          match (ps, bs) with
+          | p :: ps', b :: (b' :: _ as bs') when b' <= len -> ignore b; go ps' bs' (p :: acc)
+          | _ -> List.rev acc
+        in
+        go payloads boundaries []
+      in
+      for len = 0 to String.length data do
+        let oc = open_out_bin torn in
+        output_string oc (String.sub data 0 len);
+        close_out oc;
+        let w, replayed = Wal.open_ ~sync:false torn in
+        let expect = expected_at len in
+        if replayed <> expect then
+          Alcotest.failf "truncation at %d: got %d records, expected %d" len
+            (List.length replayed) (List.length expect);
+        (* the torn tail was truncated away: the file is now exactly its
+           valid prefix *)
+        let repaired = (Unix.stat torn).Unix.st_size in
+        let valid =
+          List.fold_left (fun acc p -> acc + 8 + String.length p) 0 expect
+        in
+        if repaired <> valid then
+          Alcotest.failf "truncation at %d: repaired size %d, expected %d" len repaired
+            valid;
+        Wal.close w
+      done)
+
+let test_wal_corrupt_byte () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w, _ = Wal.open_ ~sync:false path in
+      Wal.append w "hello";
+      Wal.append w "world";
+      Wal.close w;
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* flip a byte inside the first payload: both records die (the
+         second is unreachable without trusting the first frame) *)
+      let b = Bytes.of_string data in
+      Bytes.set b 9 (Char.chr (Char.code (Bytes.get b 9) lxor 0xFF));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      Alcotest.(check (list string)) "corrupt frame stops the scan" [] (Wal.scan path))
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "crc vectors" `Quick test_crc_vectors;
+        qtest prop_crc_incremental;
+        qtest prop_codec_roundtrip;
+        Alcotest.test_case "codec corrupt input" `Quick test_codec_corrupt;
+        Alcotest.test_case "fstore roundtrip" `Quick test_fstore_roundtrip;
+        Alcotest.test_case "fstore accounting parity" `Quick test_fstore_accounting;
+        Alcotest.test_case "fstore blind write" `Quick test_fstore_blind_write;
+        Alcotest.test_case "fstore free/errors" `Quick test_fstore_free_errors;
+        Alcotest.test_case "fstore persistence" `Quick test_fstore_persistence;
+        Alcotest.test_case "fstore multi-page extents" `Quick test_fstore_multipage;
+        Alcotest.test_case "fstore free-list reuse" `Quick test_fstore_free_reuse;
+        Alcotest.test_case "fstore rejects garbage" `Quick test_fstore_corrupt;
+        qtest prop_fstore_model;
+        Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
+        Alcotest.test_case "wal reset" `Quick test_wal_reset;
+        Alcotest.test_case "wal torn tail at every offset" `Quick test_wal_torn_tail_sweep;
+        Alcotest.test_case "wal corrupt byte" `Quick test_wal_corrupt_byte;
       ] )
