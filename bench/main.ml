@@ -20,6 +20,50 @@ module Registry = Segdb_experiments.Registry
 let quick =
   Array.exists (fun a -> a = "--quick") Sys.argv || Sys.getenv_opt "SEGDB_BENCH_QUICK" <> None
 
+(* ---------------- machine-readable output ---------------- *)
+
+(* Every measurement also lands in BENCH_PR2.json so runs can be
+   diffed without scraping the ASCII tables. *)
+
+type json_row = {
+  backend : string;
+  op : string;
+  ns_per_op : float option;
+  blocks_per_op : float option;
+  queries_per_sec : float option;
+  domains : int option;
+}
+
+let json_rows : json_row list ref = ref []
+let add_json r = json_rows := r :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  let float_field name = function
+    | Some v when not (Float.is_nan v) -> Printf.sprintf "\"%s\": %.6g" name v
+    | _ -> Printf.sprintf "\"%s\": null" name
+  in
+  let int_field name = function
+    | Some v -> Printf.sprintf "\"%s\": %d" name v
+    | None -> Printf.sprintf "\"%s\": null" name
+  in
+  Printf.fprintf oc "{\n  \"mode\": %S,\n  \"cpus\": %d,\n  \"rows\": [\n"
+    (if quick then "quick" else "full")
+    (Domain.recommended_domain_count ());
+  let rows = List.rev !json_rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    {\"backend\": %S, \"op\": %S, %s, %s, %s, %s}%s\n" r.backend r.op
+        (float_field "ns_per_op" r.ns_per_op)
+        (float_field "blocks_per_op" r.blocks_per_op)
+        (float_field "queries_per_sec" r.queries_per_sec)
+        (int_field "domains" r.domains)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
 (* ---------------- E11: wall clock ---------------- *)
 
 let wall_clock_tests () =
@@ -69,7 +113,28 @@ let wall_clock_tests () =
       [ insert_test "solution1" `Solution1; insert_test "solution2" `Solution2 ];
     ]
 
+(* blocks/op companion to the E11 query timings: the same query mix,
+   costed in simulated block transfers on a warm pool *)
+let query_block_costs () =
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let queries = W.segment_queries (Rng.create 43) ~n:64 ~span ~selectivity:0.02 in
+  List.map
+    (fun (name, backend) ->
+      let db = Db.create ~backend ~block:64 ~pool_blocks:64 segs in
+      let io = Db.io db in
+      Array.iter (fun q -> ignore (Db.count db q)) queries;
+      let before = Segdb_io.Io_stats.snapshot io in
+      Array.iter (fun q -> ignore (Db.count db q)) queries;
+      let d = Segdb_io.Io_stats.diff before (Segdb_io.Io_stats.snapshot io) in
+      ( name,
+        float_of_int (Segdb_io.Io_stats.snapshot_total d) /. float_of_int (Array.length queries)
+      ))
+    Db.all_backends
+
 let run_wall_clock () =
+  let block_costs = query_block_costs () in
   let tests = Test.make_grouped ~name:"segdb" (wall_clock_tests ()) in
   let cfg =
     Benchmark.cfg ~limit:300
@@ -91,9 +156,87 @@ let run_wall_clock () =
          let ns =
            match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> nan
          in
+         (match String.split_on_char '/' name with
+         | [ _; op; backend ] ->
+             add_json
+               {
+                 backend;
+                 op;
+                 ns_per_op = (if Float.is_nan ns then None else Some ns);
+                 blocks_per_op =
+                   (if op = "query" then List.assoc_opt backend block_costs else None);
+                 queries_per_sec = None;
+                 domains = None;
+               }
+         | _ -> ());
          Segdb_util.Table.add_row table
            [ name; Segdb_util.Table.cell_float ~decimals:0 ns ]);
   Segdb_util.Table.print table
+
+(* ---------------- parallel query throughput ---------------- *)
+
+(* The read path split in action: one database, per-domain readers,
+   whole batches answered by [Segdb.parallel_query]. Scaling beyond
+   1 domain requires that many hardware threads — the JSON records the
+   machine's count so flat curves are attributable. *)
+
+let run_parallel_throughput () =
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let nq = if quick then 128 else 512 in
+  let queries = W.segment_queries (Rng.create 45) ~n:nq ~span ~selectivity:0.02 in
+  let table =
+    Segdb_util.Table.create
+      ~title:
+        (Printf.sprintf "parallel query throughput: n=%d, %d-query batches (queries/sec)" n
+           nq)
+      ~columns:[ "backend"; "1 domain"; "2 domains"; "4 domains"; "4v1" ]
+  in
+  List.iter
+    (fun (name, backend) ->
+      let db = Db.create ~backend ~block:64 ~pool_blocks:64 segs in
+      (* warm the shared pool so every domain count sees the same state *)
+      Array.iter (fun q -> ignore (Db.count db q)) queries;
+      let qps domains =
+        let readers = Array.init domains (fun _ -> Db.reader db) in
+        ignore (Db.parallel_query ~readers db queries ~domains);
+        let min_elapsed = if quick then 0.05 else 0.3 in
+        let batches = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        let elapsed = ref 0.0 in
+        while !elapsed < min_elapsed do
+          ignore (Db.parallel_query ~readers db queries ~domains);
+          incr batches;
+          elapsed := Unix.gettimeofday () -. t0
+        done;
+        float_of_int (!batches * nq) /. !elapsed
+      in
+      let q1 = qps 1 and q2 = qps 2 and q4 = qps 4 in
+      List.iter
+        (fun (d, q) ->
+          add_json
+            {
+              backend = name;
+              op = "parallel_query";
+              ns_per_op = Some (1e9 /. q);
+              blocks_per_op = None;
+              queries_per_sec = Some q;
+              domains = Some d;
+            })
+        [ (1, q1); (2, q2); (4, q4) ];
+      Segdb_util.Table.add_row table
+        [
+          name;
+          Segdb_util.Table.cell_float ~decimals:0 q1;
+          Segdb_util.Table.cell_float ~decimals:0 q2;
+          Segdb_util.Table.cell_float ~decimals:0 q4;
+          Segdb_util.Table.cell_float ~decimals:2 (q4 /. q1);
+        ])
+    Db.all_backends;
+  Segdb_util.Table.print table;
+  Printf.printf "(machine reports %d hardware thread(s))\n"
+    (Domain.recommended_domain_count ())
 
 (* ---------------- persistence: cold vs warm open ---------------- *)
 
@@ -182,6 +325,9 @@ let () =
   Registry.run_ids ~params [];
   Printf.printf "\n=== E11: wall-clock timing ===\n\n";
   run_wall_clock ();
+  Printf.printf "\n=== parallel query throughput ===\n\n";
+  run_parallel_throughput ();
   Printf.printf "\n=== persistence: snapshot open + file store ===\n\n";
   run_persistence ();
-  print_newline ()
+  print_newline ();
+  write_json "BENCH_PR2.json"

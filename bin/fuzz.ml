@@ -6,7 +6,8 @@
    in-memory model. Any divergence prints the seed and aborts, so a
    failure is a one-line reproducer.
 
-   Usage: fuzz [--rounds N] [--ops N] [--seed N] [--size N]          *)
+   Usage: fuzz [--rounds N] [--ops N] [--seed N] [--size N]
+               [--persist] [--parallel] [--domains N]                 *)
 
 open Cmdliner
 open Segdb_geom
@@ -124,13 +125,123 @@ let run_round ~seed ~ops ~size round =
         fail "final: %s size %d vs model %d" name (M.size t) (Hashtbl.length model))
     instances
 
+module Db = Segdb_core.Segdb
+
+(* Parallel round: every backend answers a random query batch twice —
+   serially through the shared pool and via [Segdb.parallel_query] over
+   worker domains with private readers — and the answers must be
+   identical, element by element. A second batch runs after a burst of
+   inserts and deletes so the cross-check also covers indexes reshaped
+   by mutation (rebuilt PSTs, split blocks). *)
+
+let run_parallel_round ~seed ~ops ~size ~domains round =
+  let seed = seed + (round * 31337) in
+  let rng = Rng.create seed in
+  let pool_segs =
+    match Rng.int rng 5 with
+    | 0 -> W.roads (Rng.split rng) ~n:(2 * size) ~span:200.0
+    | 1 -> W.grid_city (Rng.split rng) ~n:(2 * size) ~span:200 ~max_len:30
+    | 2 -> W.temporal (Rng.split rng) ~n:(2 * size) ~keys:20 ~horizon:400
+    | 3 -> W.fans (Rng.split rng) ~n:(2 * size) ~centers:5 ~span:200
+    | _ -> W.long_spans (Rng.split rng) ~n:(2 * size) ~span:200.0
+  in
+  let n0 = Array.length pool_segs / 2 in
+  let initial = Array.sub pool_segs 0 n0 in
+  let spare = ref (Array.to_list (Array.sub pool_segs n0 (Array.length pool_segs - n0))) in
+  let live = ref (Array.to_list initial) in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (parallel round %d, seed %d): %s\n" round seed msg;
+        exit 1)
+      fmt
+  in
+  let block = 8 lsl Rng.int rng 3 in
+  let dbs =
+    List.map
+      (fun (name, backend) -> (name, Db.create ~backend ~block ~pool_blocks:16 initial))
+      Db.all_backends
+  in
+  let random_query () =
+    let x =
+      if Rng.bool rng || !live = [] then Rng.float rng 220.0 -. 10.0
+      else begin
+        let s = List.nth !live (Rng.int rng (List.length !live)) in
+        if Rng.bool rng then s.Segment.x1 else s.Segment.x2
+      end
+    in
+    match Rng.int rng 4 with
+    | 0 -> Vquery.line ~x
+    | 1 -> Vquery.ray_up ~x ~ylo:(Rng.float rng 200.0)
+    | 2 -> Vquery.ray_down ~x ~yhi:(Rng.float rng 200.0)
+    | _ ->
+        let y = Rng.float rng 200.0 in
+        Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0)
+  in
+  let cross_check label =
+    let qs = Array.init (max 1 ops) (fun _ -> random_query ()) in
+    List.iter
+      (fun (name, db) ->
+        let serial = Array.map (Db.query_ids db) qs in
+        let par = Db.parallel_query db qs ~domains in
+        Array.iteri
+          (fun i got ->
+            if got <> serial.(i) then
+              fail "%s: %s parallel answer diverged from serial (%d vs %d ids) on %s" label
+                name (List.length got)
+                (List.length serial.(i))
+                (Format.asprintf "%a" Vquery.pp qs.(i)))
+          par)
+      dbs
+  in
+  cross_check "fresh build";
+  (* reshape the indexes, then cross-check again *)
+  for _ = 1 to max 1 (size / 4) do
+    match !spare with
+    | s :: rest ->
+        spare := rest;
+        live := s :: !live;
+        List.iter (fun (_, db) -> Db.insert db s) dbs
+    | [] -> ()
+  done;
+  for _ = 1 to max 1 (size / 8) do
+    match !live with
+    | [] -> ()
+    | _ ->
+        let s = List.nth !live (Rng.int rng (List.length !live)) in
+        live := List.filter (fun (c : Segment.t) -> c.id <> s.Segment.id) !live;
+        List.iter
+          (fun (name, db) ->
+            if not (Db.delete db s) then fail "%s delete missed id %d" name s.Segment.id)
+          dbs
+  done;
+  cross_check "after mutation"
+
 (* Persistence round: random ops against the facade with a WAL attached,
    snapshots at random points, then a simulated crash — the db is dropped
    and reopened from snapshot + log. Answers before and after the reopen
    must match each other and the model; both open paths (marshaled image
-   and rebuild) are exercised. *)
+   and rebuild) are exercised.
 
-module Db = Segdb_core.Segdb
+   All scratch files live under one dedicated temp root, removed on
+   exit via [at_exit] — including the failure path, which exits with
+   status 1 after printing the reproducer. *)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let scratch_root =
+  lazy
+    (let dir = Filename.temp_file "segdb_fuzz" ".d" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     at_exit (fun () -> try remove_tree dir with Unix.Unix_error _ | Sys_error _ -> ());
+     dir)
 
 let run_persist_round ~seed ~ops ~size round =
   let seed = seed + (round * 104729) in
@@ -140,9 +251,8 @@ let run_persist_round ~seed ~ops ~size round =
   let n0 = Array.length pool_segs / 2 in
   let initial = Array.sub pool_segs 0 n0 in
   let spare = ref (Array.to_list (Array.sub pool_segs n0 (Array.length pool_segs - n0))) in
-  let dir = Filename.temp_file "segdb_fuzz" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
+  let dir = Filename.concat (Lazy.force scratch_root) (Printf.sprintf "round%d" round) in
+  Unix.mkdir dir 0o700;
   let snap = Filename.concat dir "db.snap" and wal = Filename.concat dir "db.wal" in
   let fail fmt =
     Printf.ksprintf
@@ -211,17 +321,22 @@ let run_persist_round ~seed ~ops ~size round =
           (Format.asprintf "%a" Vquery.pp q))
     queries;
   Db.detach_wal db2;
-  Sys.remove snap;
-  if Sys.file_exists wal then Sys.remove wal;
-  Unix.rmdir dir
+  (* eager per-round cleanup so long runs don't accumulate scratch;
+     the at_exit sweep of the root covers every early-exit path *)
+  remove_tree dir
 
-let fuzz rounds ops seed size persist =
+let fuzz rounds ops seed size persist parallel domains =
   for round = 1 to rounds do
-    if persist then run_persist_round ~seed ~ops ~size round
+    if parallel then run_parallel_round ~seed ~ops ~size ~domains round
+    else if persist then run_persist_round ~seed ~ops ~size round
     else run_round ~seed ~ops ~size round;
     if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
   done;
-  if persist then
+  if parallel then
+    Printf.printf
+      "fuzz: %d parallel rounds x %d queries, %d-domain answers identical to serial\n" rounds
+      ops domains
+  else if persist then
     Printf.printf
       "fuzz: %d persist rounds x %d ops, answers stable across save/open/replay\n" rounds ops
   else
@@ -242,8 +357,24 @@ let persist_t =
            then a simulated crash and recovery; query answers must be identical before \
            and after the reopen.")
 
+let parallel_t =
+  Arg.(
+    value & flag
+    & info [ "parallel" ]
+        ~doc:
+          "Parallel-read cross-checks: every backend answers random query batches through \
+           $(b,Segdb.parallel_query) and the answers must match the serial ones exactly, \
+           both on fresh builds and after mutation.")
+
+let domains_t =
+  Arg.(
+    value & opt int 4
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for $(b,--parallel) rounds.")
+
 let cmd =
   let doc = "model-based stress test across all index backends" in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t)
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t $ parallel_t $ domains_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,6 +5,7 @@
      stats     — build an index and print structural statistics
      query     — run vertical line/ray/segment queries against a file
      compare   — run a query workload across all backends (I/O table)
+     batch     — answer a file of queries in parallel across domains
      save      — build an index and snapshot it to disk
      open      — reopen a snapshot (image restore or rebuild) + optional WAL
      recover   — replay a WAL over a snapshot, optionally checkpointing
@@ -13,6 +14,7 @@
      segdb_cli generate --family roads -n 10000 -o roads.seg
      segdb_cli query roads.seg --backend solution2 --x 420 --ylo 10 --yhi 90
      segdb_cli compare roads.seg --queries 50 --selectivity 0.02
+     segdb_cli batch roads.seg --queries-file q.txt --domains 4
      segdb_cli save roads.seg -o roads.snap --backend solution2
      segdb_cli open roads.snap --wal roads.wal --x 420 --ylo 10 --yhi 90
      segdb_cli recover roads.snap --wal roads.wal --checkpoint roads.snap   *)
@@ -221,6 +223,95 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"run a query workload across all backends")
     Term.(const compare_backends $ file_t $ block_t $ pool_t $ nqueries_t $ selectivity_t $ seed_t)
 
+(* ---------------- batch ---------------- *)
+
+(* One query per line: "X" (full line), "X YLO" (upward ray), or
+   "X YLO YHI" (bounded segment). float_of_string accepts "inf" and
+   "-inf", so unbounded ends can also be written explicitly. Blank
+   lines and "#" comments are skipped. *)
+let load_queries path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then begin
+             let fields =
+               String.split_on_char ' ' line
+               |> List.concat_map (String.split_on_char '\t')
+               |> List.filter (fun s -> s <> "")
+             in
+             match List.map float_of_string fields with
+             | [ x ] -> acc := Vquery.line ~x :: !acc
+             | [ x; ylo ] -> acc := Vquery.ray_up ~x ~ylo :: !acc
+             | [ x; ylo; yhi ] -> acc := Vquery.segment ~x ~ylo ~yhi :: !acc
+             | _ | (exception Failure _) ->
+                 Printf.eprintf "%s:%d: expected X [YLO [YHI]], got %S\n" path !lineno line;
+                 exit 2
+           end
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !acc))
+
+let batch file backend block pool domains queries_file verbose =
+  let segs = Seg_file.load file in
+  let qs = load_queries queries_file in
+  if Array.length qs = 0 then begin
+    Printf.eprintf "%s: no queries\n" queries_file;
+    exit 2
+  end;
+  let db = Db.create ~backend ~block ~pool_blocks:pool segs in
+  let readers = Array.init domains (fun _ -> Db.reader db) in
+  let t0 = Unix.gettimeofday () in
+  let results = Db.parallel_query ~readers db qs ~domains in
+  let dt = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun i ids ->
+      Printf.printf "%s -> %d segments\n"
+        (Format.asprintf "%a" Vquery.pp qs.(i))
+        (List.length ids);
+      if verbose then List.iter (Printf.printf "  %d\n") ids)
+    results;
+  let reads =
+    Array.fold_left
+      (fun acc r -> acc + (Io_stats.snapshot (Db.reader_io r)).Io_stats.reads)
+      0 readers
+  in
+  Printf.printf "%d queries, %d domains: %.3fs (%.0f queries/sec, %d block reads)\n"
+    (Array.length qs) domains dt
+    (float_of_int (Array.length qs) /. Float.max dt 1e-9)
+    reads;
+  0
+
+let domains_t =
+  Arg.(
+    value & opt int 4
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains answering the batch.")
+
+let queries_file_t =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "queries-file"; "q" ] ~docv:"FILE"
+        ~doc:
+          "Query file: one query per line as $(i,X) (vertical line), $(i,X YLO) (upward \
+           ray) or $(i,X YLO YHI) (bounded segment); blank lines and # comments ignored.")
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "answer a file of vertical queries with $(b,Segdb.parallel_query), fanning the \
+          batch across worker domains with private read contexts")
+    Term.(
+      const batch $ file_t $ backend_t $ block_t $ pool_t $ domains_t $ queries_file_t
+      $ verbose_t)
+
 (* ---------------- save / open / recover ---------------- *)
 
 let no_image_t =
@@ -383,6 +474,16 @@ let verify_cmd =
 let main_cmd =
   let doc = "segment database with vertical-segment-query indexes (EDBT'98 reproduction)" in
   Cmd.group (Cmd.info "segdb_cli" ~doc)
-    [ generate_cmd; stats_cmd; query_cmd; compare_cmd; save_cmd; open_cmd; recover_cmd; verify_cmd ]
+    [
+      generate_cmd;
+      stats_cmd;
+      query_cmd;
+      compare_cmd;
+      batch_cmd;
+      save_cmd;
+      open_cmd;
+      recover_cmd;
+      verify_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

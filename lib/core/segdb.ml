@@ -115,6 +115,63 @@ let iter_all t ~f =
   let (Pack ((module M), v)) = t.pack in
   M.iter_all v ~f
 
+(* ---------------- parallel read path ---------------- *)
+
+type reader = Vs_index.reader
+
+let reader ?cache_blocks t = Vs_index.reader ?cache_blocks t.cfg
+
+let reader_io = Vs_index.reader_io
+
+let with_reader = Vs_index.with_reader
+
+let query_ids_r t r q =
+  let (Pack ((module M), v)) = t.pack in
+  Vs_index.query_ids_r (module M) r v q
+
+let query_iter_r t r q ~f =
+  let (Pack ((module M), v)) = t.pack in
+  M.query_r r v q ~f
+
+let count_r t r q =
+  let n = ref 0 in
+  query_iter_r t r q ~f:(fun _ -> incr n);
+  !n
+
+(* Batch executor: worker domains pull query indexes off a shared
+   atomic cursor (self-balancing — an expensive query does not stall a
+   whole stripe), each answering through its own reader, so the only
+   shared writes are the cursor and disjoint result slots. The caller
+   must hold off writers for the duration, per the reader/writer
+   contract; the calling domain works too, so [domains = 1] is the
+   serial loop. *)
+let parallel_query ?readers t qs ~domains =
+  if domains < 1 then invalid_arg "Segdb.parallel_query: domains must be >= 1";
+  (match readers with
+  | Some rs when Array.length rs <> domains ->
+      invalid_arg "Segdb.parallel_query: readers array must have one reader per domain"
+  | _ -> ());
+  let n = Array.length qs in
+  let out = Array.make n [] in
+  let next = Atomic.make 0 in
+  let worker k () =
+    let r =
+      match readers with Some rs -> rs.(k) | None -> reader t
+    in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        out.(i) <- query_ids_r t r qs.(i);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
+  Array.iter Domain.join spawned;
+  out
+
 let segments t =
   let acc = ref [] in
   iter_all t ~f:(fun s -> acc := s :: !acc);

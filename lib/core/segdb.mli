@@ -71,6 +71,51 @@ val segments : t -> Segment.t array
 val io : t -> Io_stats.t
 (** The index's I/O counter (shared by all its sub-structures). *)
 
+(** {1 Parallel read path}
+
+    Queries never mutate the index, and with a {!reader} they do not
+    touch shared mutable state either: each reader owns its I/O counter
+    and LRU shard, so any number of domains may query one database
+    concurrently. The contract is reader/writer: [insert], [delete] and
+    [checkpoint] require exclusive access (no concurrent readers); the
+    query family is freely shareable between writes. Mutating under an
+    installed reader raises [Invalid_argument]. *)
+
+type reader = Vs_index.reader
+
+val reader : ?cache_blocks:int -> t -> reader
+(** A fresh read context for this database. [cache_blocks] sizes the
+    reader's private LRU shard (default: the shared pool's capacity).
+    Readers are cheap; use one per domain, never share one across
+    databases. *)
+
+val reader_io : reader -> Io_stats.t
+(** The reader's own counter — cold misses this reader paid; its
+    [writes] and [allocs] stay zero by construction. *)
+
+val with_reader : reader -> (unit -> 'a) -> 'a
+(** Installs the reader on the current domain for the duration of the
+    callback; any [Segdb] query API used inside runs through it. *)
+
+val query_ids_r : t -> reader -> Vquery.t -> int list
+(** {!query_ids} through a reader: identical answer, I/O charged to the
+    reader, shared state untouched. *)
+
+val query_iter_r : t -> reader -> Vquery.t -> f:(Segment.t -> unit) -> unit
+
+val count_r : t -> reader -> Vquery.t -> int
+
+val parallel_query :
+  ?readers:reader array -> t -> Vquery.t array -> domains:int -> int list array
+(** [parallel_query t qs ~domains] answers the whole batch, fanning the
+    queries across [domains] worker domains (the calling domain is one
+    of them; [domains = 1] is the serial loop). Element [i] of the
+    result is exactly [query_ids t qs.(i)] — sorted ids. Workers pull
+    queries off a shared cursor, so skewed batches self-balance. Each
+    worker uses its own fresh reader unless [readers] supplies one per
+    domain (useful to keep shards warm across batches or to inspect
+    per-worker I/O). No writer may run concurrently. *)
+
 val backend : t -> backend
 val backend_name : t -> string
 

@@ -17,6 +17,19 @@ let config ?(pool_blocks = 64) ?(block = 64) ?(cascade = true) () =
     cascade;
   }
 
+type reader = Read_context.t
+
+let reader ?cache_blocks (cfg : config) =
+  let cache_blocks =
+    match cache_blocks with
+    | Some c -> c
+    | None -> Block_store.Pool.capacity cfg.pool
+  in
+  Read_context.create ~cache_blocks ()
+
+let with_reader = Read_context.with_reader
+let reader_io = Read_context.stats
+
 module type S = sig
   type t
 
@@ -25,6 +38,7 @@ module type S = sig
   val insert : t -> Segment.t -> unit
   val delete : t -> Segment.t -> bool
   val query : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+  val query_r : reader -> t -> Vquery.t -> f:(Segment.t -> unit) -> unit
   val iter_all : t -> f:(Segment.t -> unit) -> unit
   val size : t -> int
   val block_count : t -> int
@@ -33,4 +47,9 @@ end
 let query_ids (type a) (module M : S with type t = a) (t : a) q =
   let acc = ref [] in
   M.query t q ~f:(fun s -> acc := s.Segment.id :: !acc);
+  List.sort compare !acc
+
+let query_ids_r (type a) (module M : S with type t = a) r (t : a) q =
+  let acc = ref [] in
+  M.query_r r t q ~f:(fun s -> acc := s.Segment.id :: !acc);
   List.sort compare !acc

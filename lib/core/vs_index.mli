@@ -5,7 +5,16 @@ open Segdb_geom
 
     Every index is built against one {!config}: a shared buffer pool, a
     shared I/O counter, and the block size [B]. The experiments measure
-    an operation by snapshotting [stats] around it. *)
+    an operation by snapshotting [stats] around it.
+
+    {b Reader/writer contract.} The query operations ([query],
+    [query_r], and everything built on them — counts, id lists,
+    enumeration) never mutate the index. [insert]/[delete] require
+    exclusive access. A {!reader} makes the read half of that contract
+    operational: queries run under one touch no shared state at all —
+    I/O is charged to the reader's own counter and cold blocks land in
+    the reader's own LRU shard — so any number of domains can query one
+    index concurrently, each with its own reader. *)
 
 type config = {
   pool : Block_store.Pool.t;
@@ -19,6 +28,24 @@ val config :
 (** Defaults: a 64-block pool, [block = 64], cascading on. The pool is
     deliberately small relative to index sizes so that I/O counts
     reflect structure traversals rather than cache hits. *)
+
+type reader = Read_context.t
+(** A read context for this index family: per-reader {!Io_stats.t} plus
+    a private LRU shard. See {!Read_context}. *)
+
+val reader : ?cache_blocks:int -> config -> reader
+(** A fresh reader for indexes built against [config]. The private
+    shard defaults to the shared pool's capacity, so a reader's memory
+    budget matches the writer's. Do not share a reader across configs
+    (block addresses are only unique within one pool). *)
+
+val with_reader : reader -> (unit -> 'a) -> 'a
+(** Runs [f] with the reader installed on the current domain:
+    {!Block_store} reads go through it, and any index mutation raises
+    [Invalid_argument]. *)
+
+val reader_io : reader -> Io_stats.t
+(** The reader's own counter: the cold misses this reader paid. *)
 
 module type S = sig
   type t
@@ -40,6 +67,13 @@ module type S = sig
   (** Calls [f] exactly once per stored segment intersecting the
       query. *)
 
+  val query_r : reader -> t -> Vquery.t -> f:(Segment.t -> unit) -> unit
+  (** [query] against an immutable-by-contract handle: runs under the
+      reader, charging I/O to {!reader_io} and leaving the shared pool,
+      the shared counter and all index state untouched. Safe to call
+      from several domains at once (one reader per domain) as long as
+      no writer runs. *)
+
   val iter_all : t -> f:(Segment.t -> unit) -> unit
   (** Calls [f] exactly once per stored segment, in unspecified order —
       the enumeration snapshots and audits are built on. Backends that
@@ -52,3 +86,7 @@ end
 
 val query_ids : (module S with type t = 'a) -> 'a -> Vquery.t -> int list
 (** Sorted ids of the answer — the comparison form used by tests. *)
+
+val query_ids_r :
+  (module S with type t = 'a) -> reader -> 'a -> Vquery.t -> int list
+(** {!query_ids} through a reader. *)

@@ -28,6 +28,7 @@ struct
 
   type t = {
     name : string;
+    uid : int; (* distinguishes stores inside a shared read context *)
     pool : Pool.t;
     io : Io_stats.t;
     disk : (addr, P.t) Hashtbl.t; (* contents of non-resident blocks *)
@@ -38,12 +39,21 @@ struct
   let create ?(name = "store") ~pool ~stats () =
     {
       name;
+      uid = Read_context.fresh_uid ();
       pool;
       io = stats;
       disk = Hashtbl.create 1024;
       cache = Hashtbl.create 64;
       live = Hashtbl.create 1024;
     }
+
+  (* Mutators refuse to run under a read context: queries that sneak in
+     an alloc/write/free are a purity bug, and this is where it trips. *)
+  let guard_writer t op =
+    if Read_context.active () <> None then
+      invalid_arg
+        (Printf.sprintf "Block_store(%s): %s under a read context (queries must not mutate)"
+           t.name op)
 
   let evict t a =
     match Hashtbl.find_opt t.cache a with
@@ -58,6 +68,7 @@ struct
     Pool.insert t.pool a { Pool.evict = (fun () -> evict t a) }
 
   let alloc t payload =
+    guard_writer t "alloc";
     let a = t.pool.Pool.next_addr in
     t.pool.Pool.next_addr <- a + 1;
     Io_stats.record_alloc t.io;
@@ -68,21 +79,46 @@ struct
   let fail_unknown t a =
     invalid_arg (Printf.sprintf "Block_store(%s): unknown or freed address %d" t.name a)
 
-  let read t a =
-    match Hashtbl.find_opt t.cache a with
-    | Some frame ->
-        Pool.touch t.pool a;
-        frame.payload
+  (* Read under an installed context: the shared pool, shared stats and
+     this store's tables are consulted read-only and never modified, so
+     any number of domains may run this concurrently (writers excluded
+     by the reader/writer contract). A block resident in the shared pool
+     is free, exactly as in the serial model; a disk block charges one
+     read to the *reader's* stats and lands in the reader's own LRU
+     shard, so each reader pays its own cold misses. *)
+  let read_via t ctx a =
+    match Read_context.find ctx ~uid:t.uid ~addr:a with
+    | Some payload -> (Obj.obj payload : P.t)
     | None -> (
-        match Hashtbl.find_opt t.disk a with
-        | Some payload ->
-            Io_stats.record_read t.io;
-            Hashtbl.remove t.disk a;
-            make_resident t a { payload; dirty = false };
-            payload
-        | None -> fail_unknown t a)
+        match Hashtbl.find_opt t.cache a with
+        | Some frame -> frame.payload
+        | None -> (
+            match Hashtbl.find_opt t.disk a with
+            | Some payload ->
+                Io_stats.record_read (Read_context.stats ctx);
+                Read_context.add ctx ~uid:t.uid ~addr:a (Obj.repr payload);
+                payload
+            | None -> fail_unknown t a))
+
+  let read t a =
+    match Read_context.active () with
+    | Some ctx -> read_via t ctx a
+    | None -> (
+        match Hashtbl.find_opt t.cache a with
+        | Some frame ->
+            Pool.touch t.pool a;
+            frame.payload
+        | None -> (
+            match Hashtbl.find_opt t.disk a with
+            | Some payload ->
+                Io_stats.record_read t.io;
+                Hashtbl.remove t.disk a;
+                make_resident t a { payload; dirty = false };
+                payload
+            | None -> fail_unknown t a))
 
   let write t a payload =
+    guard_writer t "write";
     if not (Hashtbl.mem t.live a) then fail_unknown t a;
     match Hashtbl.find_opt t.cache a with
     | Some frame ->
@@ -96,6 +132,7 @@ struct
         make_resident t a { payload; dirty = true }
 
   let free t a =
+    guard_writer t "free";
     if not (Hashtbl.mem t.live a) then fail_unknown t a;
     Hashtbl.remove t.live a;
     Hashtbl.remove t.disk a;
@@ -105,6 +142,7 @@ struct
     end
 
   let flush t =
+    guard_writer t "flush";
     Hashtbl.iter
       (fun _ frame ->
         if frame.dirty then begin

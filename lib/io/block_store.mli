@@ -9,7 +9,16 @@
     All structures of one index share a single {!Io_stats.t} so that an
     index's total cost is observable at one place, and they may share a
     single buffer [pool] so that the memory budget is honest across
-    sub-structures. *)
+    sub-structures.
+
+    {b Read contexts.} When a {!Read_context.t} is installed on the
+    current domain ({!Read_context.with_reader}), [read] switches to a
+    pure lookup path: shared pool, shared stats and store tables are
+    consulted without being modified, cold misses are charged to the
+    reader's own counter and cached in the reader's own LRU shard, and
+    [alloc]/[write]/[free]/[flush] raise [Invalid_argument]. Outside a
+    context the behaviour (and the accounting the experiments measure)
+    is exactly the historical single-handle one. *)
 
 type addr = int
 
@@ -43,8 +52,10 @@ end) : sig
       a transfer). *)
 
   val read : t -> addr -> P.t
-  (** Fetches the block, charging one read on a pool miss.
-      Raises [Invalid_argument] on a freed or unknown address. *)
+  (** Fetches the block, charging one read on a pool miss (to the
+      reader's stats when a read context is installed, to [stats]
+      otherwise). Raises [Invalid_argument] on a freed or unknown
+      address. *)
 
   val write : t -> addr -> P.t -> unit
   (** Replaces the block's payload, marking it dirty. Charges one read on

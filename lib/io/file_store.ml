@@ -42,6 +42,7 @@ struct
 
   type t = {
     name : string;
+    uid : int; (* distinguishes stores inside a shared read context *)
     path : string;
     fd : Unix.file_descr;
     page_size : int;
@@ -167,6 +168,7 @@ struct
     let t =
       {
         name;
+        uid = Read_context.fresh_uid ();
         path;
         fd;
         page_size;
@@ -194,6 +196,7 @@ struct
     let t =
       {
         name;
+        uid = Read_context.fresh_uid ();
         path;
         fd;
         page_size;
@@ -251,18 +254,27 @@ struct
 
   let check_open t = if t.closed then invalid_arg "File_store: handle is closed"
 
+  (* Same purity contract as {!Block_store}: mutators refuse to run
+     under a read context. *)
+  let guard_writer t op =
+    if Read_context.active () <> None then
+      invalid_arg
+        (Printf.sprintf "File_store(%s): %s under a read context (queries must not mutate)"
+           t.name op)
+
   let insert_frame t a frame =
     Lru.put t.cache a frame ~on_evict:(fun addr f -> on_evict t addr f)
 
   let alloc t payload =
     check_open t;
+    guard_writer t "alloc";
     let a = alloc_page t in
     Io_stats.record_alloc t.io;
     Hashtbl.replace t.extents a [ a ];
     insert_frame t a { payload; dirty = true };
     a
 
-  let fetch t a =
+  let fetch t ~io a =
     let pages = try Hashtbl.find t.extents a with Not_found -> fail_unknown t a in
     let buf = Buffer.create (List.length pages * payload_capacity t) in
     List.iter
@@ -277,23 +289,43 @@ struct
         let len = Codec.R.u32 r in
         if len > payload_capacity t then corrupt "%s: page %d payload overflows" t.path p;
         Buffer.add_substring buf s header_bytes len;
-        Io_stats.record_read t.io)
+        Io_stats.record_read io)
       pages;
     try Codec.decode P.codec (Buffer.contents buf)
     with Codec.Corrupt m -> corrupt "%s: block %d does not decode: %s" t.path a m
 
+  (* Reads under a context leave the handle's cache untouched (no
+     recency update, no frame insertion) and charge page reads to the
+     reader. The handle itself is still single-domain — the fd's seek
+     pointer is shared — so File_store readers isolate *accounting*,
+     not domains; parallel readers each open their own handle. *)
+  let read_via t ctx a =
+    match Read_context.find ctx ~uid:t.uid ~addr:a with
+    | Some payload -> (Obj.obj payload : P.t)
+    | None -> (
+        match Lru.peek t.cache a with
+        | Some frame -> frame.payload
+        | None ->
+            let payload = fetch t ~io:(Read_context.stats ctx) a in
+            Read_context.add ctx ~uid:t.uid ~addr:a (Obj.repr payload);
+            payload)
+
   let read t a =
     check_open t;
     if not (Hashtbl.mem t.extents a) then fail_unknown t a;
-    match Lru.find t.cache a with
-    | Some frame -> frame.payload
-    | None ->
-        let payload = fetch t a in
-        insert_frame t a { payload; dirty = false };
-        payload
+    match Read_context.active () with
+    | Some ctx -> read_via t ctx a
+    | None -> (
+        match Lru.find t.cache a with
+        | Some frame -> frame.payload
+        | None ->
+            let payload = fetch t ~io:t.io a in
+            insert_frame t a { payload; dirty = false };
+            payload)
 
   let write t a payload =
     check_open t;
+    guard_writer t "write";
     if not (Hashtbl.mem t.extents a) then fail_unknown t a;
     match Lru.find t.cache a with
     | Some frame ->
@@ -306,6 +338,7 @@ struct
 
   let free t a =
     check_open t;
+    guard_writer t "free";
     match Hashtbl.find_opt t.extents a with
     | None -> fail_unknown t a
     | Some pages ->
@@ -316,6 +349,7 @@ struct
 
   let flush t =
     check_open t;
+    guard_writer t "flush";
     Lru.iter t.cache (fun a frame ->
         if frame.dirty then begin
           write_back t a frame;

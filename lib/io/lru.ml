@@ -45,6 +45,11 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.table key
 
+let peek t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node -> Some node.value
+
 let remove t key =
   match Hashtbl.find_opt t.table key with
   | None -> None

@@ -20,6 +20,10 @@ val find : 'a t -> int -> 'a option
 val mem : 'a t -> int -> bool
 (** Does not touch recency. *)
 
+val peek : 'a t -> int -> 'a option
+(** Like {!find} but without touching recency — the read-only lookup
+    read contexts use to consult a shared cache without mutating it. *)
+
 val put : 'a t -> int -> 'a -> on_evict:(int -> 'a -> unit) -> unit
 (** Inserts or replaces the binding and marks it most-recently-used.
     If insertion overflows the capacity the LRU binding is removed and

@@ -1,0 +1,40 @@
+type entry = { uid : int; payload : Obj.t }
+
+type t = { stats : Io_stats.t; cache : entry Lru.t }
+
+let create ?(cache_blocks = 64) () =
+  { stats = Io_stats.create (); cache = Lru.create ~capacity:cache_blocks }
+
+let stats t = t.stats
+let capacity t = Lru.capacity t.cache
+let resident t = Lru.length t.cache
+
+let next_uid = Atomic.make 1
+let fresh_uid () = Atomic.fetch_and_add next_uid 1
+
+(* The active context is domain-local: installing a reader on one domain
+   never affects stores used from another, which is exactly what lets
+   one domain per worker run queries against a shared index. *)
+let current : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let active () = !(Domain.DLS.get current)
+
+let with_reader t f =
+  let slot = Domain.DLS.get current in
+  let saved = !slot in
+  slot := Some t;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let find t ~uid ~addr =
+  match Lru.find t.cache addr with
+  | None -> None
+  | Some e ->
+      if e.uid <> uid then
+        invalid_arg
+          "Read_context: address resolved to a block of a different store; a \
+           reader must not be shared across databases"
+      else Some e.payload
+
+let add t ~uid ~addr payload =
+  (* reader frames are never dirty, so eviction costs nothing *)
+  Lru.put t.cache addr { uid; payload } ~on_evict:(fun _ _ -> ())

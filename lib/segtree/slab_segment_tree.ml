@@ -53,8 +53,10 @@ type t = {
   mutable overlay_size : int; (* fragments inserted since last rebuild *)
   tombstones : (int, unit) Hashtbl.t; (* deleted fragment ids awaiting a rebuild *)
   cascade : bool;
-  mutable guided : int;
-  mutable fallback : int;
+  (* query-path diagnostics: atomic because queries — the only writers
+     of these counters — may run from several domains at once *)
+  guided : int Atomic.t;
+  fallback : int Atomic.t;
 }
 
 (* Vertical order of fragments along the line [x = line]: both fragments
@@ -189,8 +191,8 @@ let build ?(cascade = true) ?(list_block = 64) ~pool ~stats ~boundaries frags =
     overlay_size = 0;
     tombstones = Hashtbl.create 16;
     cascade;
-    guided = 0;
-    fallback = 0;
+    guided = Atomic.make 0;
+    fallback = Atomic.make 0;
   }
 
 let size t = t.static_size + t.overlay_size - Hashtbl.length t.tombstones
@@ -211,8 +213,8 @@ let rec blocks_rec node =
 
 let block_count t = match t.root with Some r -> blocks_rec r | None -> 0
 
-let guided_levels t = t.guided
-let fallback_searches t = t.fallback
+let guided_levels t = Atomic.get t.guided
+let fallback_searches t = Atomic.get t.fallback
 
 (* Query descent along the path to gap [k]. [emit] receives each
    intersected fragment of each list on the path.
@@ -247,7 +249,7 @@ let descend t ~x ~ylo ~yhi ~k ~emit =
         in
         (match guidance with
         | Some pos when t.cascade ->
-            t.guided <- t.guided + 1;
+            Atomic.incr t.guided;
             (* matches below the landing, in decreasing order; the last
                accepted is the subtree's first match *)
             Plist.walk_backward list pos (fun e ->
@@ -260,7 +262,7 @@ let descend t ~x ~ylo ~yhi ~k ~emit =
             let first_fwd = forward_from pos in
             if !f1 = None then f1 := first_fwd
         | _ ->
-            t.fallback <- t.fallback + 1;
+            Atomic.incr t.fallback;
             let idx = Plist.search list ~cmp:(fun e -> if y_of e >= ylo then 0 else -1) in
             if idx < Plist.length list then f1 := forward_from (Plist.pos_of list idx));
         !f1

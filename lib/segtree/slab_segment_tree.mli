@@ -63,7 +63,9 @@ val stored_entries : t -> int
 val block_count : t -> int
 
 val guided_levels : t -> int
-(** Cumulative count of levels entered through a cascading landing. *)
+(** Cumulative count of levels entered through a cascading landing.
+    Maintained atomically: counters are the one thing a query is
+    allowed to bump, and queries may run from several domains. *)
 
 val fallback_searches : t -> int
 (** Cumulative count of levels that needed a full list search (the
