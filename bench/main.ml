@@ -22,7 +22,7 @@ let quick =
 
 (* ---------------- machine-readable output ---------------- *)
 
-(* Every measurement also lands in BENCH_PR2.json so runs can be
+(* Every measurement also lands in BENCH_PR3.json so runs can be
    diffed without scraping the ASCII tables. *)
 
 type json_row = {
@@ -32,7 +32,23 @@ type json_row = {
   blocks_per_op : float option;
   queries_per_sec : float option;
   domains : int option;
+  p50_ns : float option;
+  p90_ns : float option;
+  p99_ns : float option;
 }
+
+let row backend op =
+  {
+    backend;
+    op;
+    ns_per_op = None;
+    blocks_per_op = None;
+    queries_per_sec = None;
+    domains = None;
+    p50_ns = None;
+    p90_ns = None;
+    p99_ns = None;
+  }
 
 let json_rows : json_row list ref = ref []
 let add_json r = json_rows := r :: !json_rows
@@ -53,11 +69,15 @@ let write_json path =
   let rows = List.rev !json_rows in
   List.iteri
     (fun i r ->
-      Printf.fprintf oc "    {\"backend\": %S, \"op\": %S, %s, %s, %s, %s}%s\n" r.backend r.op
+      Printf.fprintf oc "    {\"backend\": %S, \"op\": %S, %s, %s, %s, %s, %s, %s, %s}%s\n"
+        r.backend r.op
         (float_field "ns_per_op" r.ns_per_op)
         (float_field "blocks_per_op" r.blocks_per_op)
         (float_field "queries_per_sec" r.queries_per_sec)
         (int_field "domains" r.domains)
+        (float_field "p50_ns" r.p50_ns)
+        (float_field "p90_ns" r.p90_ns)
+        (float_field "p99_ns" r.p99_ns)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "  ]\n}\n";
@@ -160,18 +180,90 @@ let run_wall_clock () =
          | [ _; op; backend ] ->
              add_json
                {
-                 backend;
-                 op;
+                 (row backend op) with
                  ns_per_op = (if Float.is_nan ns then None else Some ns);
                  blocks_per_op =
                    (if op = "query" then List.assoc_opt backend block_costs else None);
-                 queries_per_sec = None;
-                 domains = None;
                }
          | _ -> ());
          Segdb_util.Table.add_row table
            [ name; Segdb_util.Table.cell_float ~decimals:0 ns ]);
   Segdb_util.Table.print table
+
+(* ---------------- query latency percentiles ---------------- *)
+
+(* The obs layer measuring itself honest: per-query latency recorded
+   into a histogram (not OLS-fitted means, so tail behaviour shows),
+   plus blocks/op over the same mix. Observability is ON here — these
+   numbers include the probe overhead by design; E11 above stays OFF
+   and guards the uninstrumented hot path. *)
+
+let run_latency_percentiles () =
+  Segdb_obs.Control.with_enabled @@ fun () ->
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let queries = W.segment_queries (Rng.create 43) ~n:64 ~span ~selectivity:0.02 in
+  let rounds = if quick then 4 else 32 in
+  let table =
+    Segdb_util.Table.create
+      ~title:
+        (Printf.sprintf "query latency percentiles: n=%d, %d queries x %d rounds (obs on)" n
+           (Array.length queries) rounds)
+      ~columns:[ "backend"; "p50 us"; "p90 us"; "p99 us"; "max us"; "blocks/op" ]
+  in
+  List.iter
+    (fun (name, backend) ->
+      let db = Db.create ~backend ~block:64 ~pool_blocks:64 segs in
+      let io = Db.io db in
+      Array.iter (fun q -> ignore (Db.count db q)) queries;
+      let h = Segdb_obs.Histogram.create () in
+      let before = Segdb_io.Io_stats.snapshot io in
+      for _ = 1 to rounds do
+        Array.iter
+          (fun q ->
+            let t0 = Segdb_obs.Trace.now_ns () in
+            ignore (Db.count db q);
+            Segdb_obs.Histogram.record h (Segdb_obs.Trace.now_ns () - t0))
+          queries
+      done;
+      let d = Segdb_io.Io_stats.diff before (Segdb_io.Io_stats.snapshot io) in
+      let ops = rounds * Array.length queries in
+      let blocks = float_of_int (Segdb_io.Io_stats.snapshot_total d) /. float_of_int ops in
+      let p p = Segdb_obs.Histogram.percentile h p in
+      add_json
+        {
+          (row name "query_latency") with
+          blocks_per_op = Some blocks;
+          p50_ns = Some (p 0.5);
+          p90_ns = Some (p 0.9);
+          p99_ns = Some (p 0.99);
+        };
+      Segdb_util.Table.add_row table
+        [
+          name;
+          Segdb_util.Table.cell_float ~decimals:1 (p 0.5 /. 1e3);
+          Segdb_util.Table.cell_float ~decimals:1 (p 0.9 /. 1e3);
+          Segdb_util.Table.cell_float ~decimals:1 (p 0.99 /. 1e3);
+          Segdb_util.Table.cell_float ~decimals:1
+            (float_of_int (Segdb_obs.Histogram.max_value h) /. 1e3);
+          Segdb_util.Table.cell_float ~decimals:2 blocks;
+        ])
+    Db.all_backends;
+  Segdb_util.Table.print table
+
+(* Where a solution2 query spends its time and its blocks, phase by
+   phase: the per-phase span histograms over the standard query mix. *)
+let run_traced_phases () =
+  Segdb_obs.Control.with_enabled @@ fun () ->
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let queries = W.segment_queries (Rng.create 43) ~n:64 ~span ~selectivity:0.02 in
+  let db = Db.create ~backend:`Solution2 ~block:64 ~pool_blocks:64 segs in
+  Segdb_obs.Metrics.reset Segdb_obs.Metrics.default;
+  Array.iter (fun q -> ignore (Db.count db q)) queries;
+  print_string (Segdb_obs.Export.phase_summary Segdb_obs.Metrics.default)
 
 (* ---------------- parallel query throughput ---------------- *)
 
@@ -217,10 +309,8 @@ let run_parallel_throughput () =
         (fun (d, q) ->
           add_json
             {
-              backend = name;
-              op = "parallel_query";
+              (row name "parallel_query") with
               ns_per_op = Some (1e9 /. q);
-              blocks_per_op = None;
               queries_per_sec = Some q;
               domains = Some d;
             })
@@ -324,10 +414,16 @@ let () =
   Printf.printf "=== I/O experiment tables (E1-E10, E12-E16) ===\n";
   Registry.run_ids ~params [];
   Printf.printf "\n=== E11: wall-clock timing ===\n\n";
+  (* E11 guards the uninstrumented hot path: observability must be off *)
+  Segdb_obs.Control.disable ();
   run_wall_clock ();
+  Printf.printf "\n=== query latency percentiles (observability on) ===\n\n";
+  run_latency_percentiles ();
+  Printf.printf "\n=== solution2 per-phase spans ===\n\n";
+  run_traced_phases ();
   Printf.printf "\n=== parallel query throughput ===\n\n";
   run_parallel_throughput ();
   Printf.printf "\n=== persistence: snapshot open + file store ===\n\n";
   run_persistence ();
   print_newline ();
-  write_json "BENCH_PR2.json"
+  write_json "BENCH_PR3.json"

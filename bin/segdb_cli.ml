@@ -27,6 +27,7 @@ module Seg_file = Segdb_core.Seg_file
 module Rng = Segdb_util.Rng
 module Table = Segdb_util.Table
 module Io_stats = Segdb_io.Io_stats
+module Obs = Segdb_obs
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -64,6 +65,11 @@ let backend_t =
 
 let file_t =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Segment file.")
+
+let selectivity_t =
+  Arg.(
+    value & opt float 0.02
+    & info [ "selectivity" ] ~docv:"F" ~doc:"Query height as a fraction of the span.")
 
 (* ---------------- generate ---------------- *)
 
@@ -113,26 +119,66 @@ let generate_cmd =
 
 (* ---------------- stats ---------------- *)
 
-let stats file backend block pool =
+let format_conv =
+  Arg.enum [ ("text", `Text); ("json", `Json); ("prometheus", `Prometheus) ]
+
+let format_t =
+  Arg.(
+    value & opt format_conv `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Metrics output format: $(b,text), $(b,json) or $(b,prometheus).")
+
+let render_metrics = function
+  | `Text ->
+      print_string (Obs.Export.text Obs.Metrics.default);
+      print_string (Obs.Export.phase_summary Obs.Metrics.default)
+  | `Json -> print_string (Obs.Export.json Obs.Metrics.default)
+  | `Prometheus -> print_string (Obs.Export.prometheus Obs.Metrics.default)
+
+let stats file backend block pool nqueries selectivity seed format =
+  Obs.Control.enable ();
   let segs = Seg_file.load file in
   let t0 = Unix.gettimeofday () in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
   let dt = Unix.gettimeofday () -. t0 in
-  Printf.printf "backend:      %s\n" (Db.backend_name db);
-  Printf.printf "segments:     %d\n" (Db.size db);
-  Printf.printf "blocks:       %d  (n/B = %d)\n" (Db.block_count db)
-    (Array.length segs / block);
-  Printf.printf "build:        %.3fs, %s\n" dt (Format.asprintf "%a" Io_stats.pp (Db.io db));
+  if nqueries > 0 then begin
+    let span =
+      Array.fold_left (fun acc (s : Segment.t) -> Float.max acc (Segment.max_x s)) 1.0 segs
+    in
+    let queries = W.segment_queries (Rng.create seed) ~n:nqueries ~span ~selectivity in
+    Array.iter (fun q -> ignore (Db.count db q)) queries
+  end;
+  (match format with
+  | `Text ->
+      Printf.printf "backend:      %s\n" (Db.backend_name db);
+      Printf.printf "segments:     %d\n" (Db.size db);
+      Printf.printf "blocks:       %d  (n/B = %d)\n" (Db.block_count db)
+        (Array.length segs / block);
+      Printf.printf "build:        %.3fs, %s\n\n" dt
+        (Format.asprintf "%a" Io_stats.pp (Db.io db))
+  | `Json | `Prometheus -> ());
+  render_metrics format;
   0
+
+let stats_queries_t =
+  Arg.(
+    value & opt int 0
+    & info [ "queries" ] ~docv:"N"
+        ~doc:"Run N random queries before reporting, so query-path metrics are populated.")
 
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats" ~doc:"build an index and print structural statistics")
-    Term.(const stats $ file_t $ backend_t $ block_t $ pool_t)
+    (Cmd.info "stats"
+       ~doc:
+         "build an index and print structural statistics plus the observability metrics \
+          (counters, histograms, per-phase spans)")
+    Term.(
+      const stats $ file_t $ backend_t $ block_t $ pool_t $ stats_queries_t
+      $ selectivity_t $ seed_t $ format_t)
 
 (* ---------------- query ---------------- *)
 
-let query file backend block pool x ylo yhi verbose =
+let query file backend block pool x ylo yhi verbose trace =
   let segs = Seg_file.load file in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
   let q =
@@ -140,6 +186,10 @@ let query file backend block pool x ylo yhi verbose =
       ~ylo:(Option.value ylo ~default:neg_infinity)
       ~yhi:(Option.value yhi ~default:infinity)
   in
+  if trace then begin
+    Obs.Control.enable ();
+    Obs.Trace.clear ()
+  end;
   let io = Db.io db in
   Io_stats.reset io;
   let hits = Db.query db q in
@@ -149,6 +199,12 @@ let query file backend block pool x ylo yhi verbose =
     (Format.asprintf "%a" Io_stats.pp io);
   if verbose then
     List.iter (fun s -> Printf.printf "  %s\n" (Format.asprintf "%a" Segment.pp s)) hits;
+  if trace then begin
+    print_newline ();
+    print_string (Obs.Export.trace_text (Obs.Trace.events ()));
+    print_newline ();
+    print_string (Obs.Export.phase_summary Obs.Metrics.default)
+  end;
   0
 
 let x_t = Arg.(required & opt (some float) None & info [ "x" ] ~docv:"X" ~doc:"Query abscissa.")
@@ -167,10 +223,20 @@ let yhi_t =
 
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print matched segments.")
 
+let trace_t =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Trace the query pipeline: print every recorded span (descent, PST, interval \
+           tree, slab tree) with durations and block counts, plus the per-phase summary.")
+
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"run one vertical line/ray/segment query")
-    Term.(const query $ file_t $ backend_t $ block_t $ pool_t $ x_t $ ylo_t $ yhi_t $ verbose_t)
+    Term.(
+      const query $ file_t $ backend_t $ block_t $ pool_t $ x_t $ ylo_t $ yhi_t $ verbose_t
+      $ trace_t)
 
 (* ---------------- compare ---------------- *)
 
@@ -212,11 +278,6 @@ let compare_backends file block pool nqueries selectivity seed =
 
 let nqueries_t =
   Arg.(value & opt int 50 & info [ "queries" ] ~docv:"N" ~doc:"Number of random queries.")
-
-let selectivity_t =
-  Arg.(
-    value & opt float 0.02
-    & info [ "selectivity" ] ~docv:"F" ~doc:"Query height as a fraction of the span.")
 
 let compare_cmd =
   Cmd.v
@@ -268,7 +329,7 @@ let batch file backend block pool domains queries_file verbose =
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
   let readers = Array.init domains (fun _ -> Db.reader db) in
   let t0 = Unix.gettimeofday () in
-  let results = Db.parallel_query ~readers db qs ~domains in
+  let results, wstats = Db.parallel_query_stats ~readers db qs ~domains in
   let dt = Unix.gettimeofday () -. t0 in
   Array.iteri
     (fun i ids ->
@@ -277,15 +338,27 @@ let batch file backend block pool domains queries_file verbose =
         (List.length ids);
       if verbose then List.iter (Printf.printf "  %d\n") ids)
     results;
-  let reads =
-    Array.fold_left
-      (fun acc r -> acc + (Io_stats.snapshot (Db.reader_io r)).Io_stats.reads)
-      0 readers
-  in
+  let reads = Array.fold_left (fun acc (w : Db.worker_stats) -> acc + w.reads) 0 wstats in
   Printf.printf "%d queries, %d domains: %.3fs (%.0f queries/sec, %d block reads)\n"
     (Array.length qs) domains dt
     (float_of_int (Array.length qs) /. Float.max dt 1e-9)
     reads;
+  let table =
+    Table.create ~title:"per-domain readers"
+      ~columns:[ "worker"; "queries"; "block reads"; "cache hits"; "cache misses" ]
+  in
+  Array.iter
+    (fun (w : Db.worker_stats) ->
+      Table.add_row table
+        [
+          Table.cell_int w.worker;
+          Table.cell_int w.queries;
+          Table.cell_int w.reads;
+          Table.cell_int w.cache_hits;
+          Table.cell_int w.cache_misses;
+        ])
+    wstats;
+  Table.print table;
   0
 
 let domains_t =

@@ -93,9 +93,17 @@ let delete t s =
 
 (* ---------------- queries ---------------- *)
 
+(* forward declaration lives below; the root span needs the resolved
+   backend name, which depends on [t.cfg] *)
+let backend_name t =
+  let (Pack ((module M), _)) = t.pack in
+  if M.name = "solution2" && not t.cfg.Vs_index.cascade then "solution2-nofc" else M.name
+
 let query_iter t q ~f =
   let (Pack ((module M), v)) = t.pack in
-  M.query v q ~f
+  if Segdb_obs.Control.enabled () then
+    Probe.span t.cfg.stats ("query." ^ backend_name t) (fun () -> M.query v q ~f)
+  else M.query v q ~f
 
 let query t q =
   let acc = ref [] in
@@ -172,6 +180,73 @@ let parallel_query ?readers t qs ~domains =
   Array.iter Domain.join spawned;
   out
 
+(* Per-worker accounting for one batch: how the work and the I/O spread
+   across domains. *)
+type worker_stats = {
+  worker : int;
+  queries : int; (* queries this domain answered *)
+  reads : int; (* cold block reads charged to its reader *)
+  cache_hits : int; (* lookups served by the reader's own shard *)
+  cache_misses : int;
+}
+
+let pp_worker_stats ppf w =
+  Format.fprintf ppf "worker %d: queries=%d reads=%d cache=%d/%d" w.worker w.queries
+    w.reads w.cache_hits (w.cache_hits + w.cache_misses)
+
+(* [parallel_query] plus instrumentation: per-worker counters always
+   (they ride on structures each worker owns anyway), and per-worker
+   latency histograms merged into [Metrics.default] as
+   [parallel.query.ns] when observability is on. *)
+let parallel_query_stats ?readers t qs ~domains =
+  if domains < 1 then invalid_arg "Segdb.parallel_query_stats: domains must be >= 1";
+  (match readers with
+  | Some rs when Array.length rs <> domains ->
+      invalid_arg "Segdb.parallel_query_stats: readers array must have one reader per domain"
+  | _ -> ());
+  let module Obs = Segdb_obs in
+  let n = Array.length qs in
+  let out = Array.make n [] in
+  let stats = Array.make domains { worker = 0; queries = 0; reads = 0; cache_hits = 0; cache_misses = 0 } in
+  let next = Atomic.make 0 in
+  let worker k () =
+    let r = match readers with Some rs -> rs.(k) | None -> reader t in
+    let observing = Obs.Control.enabled () in
+    let lat = if observing then Some (Obs.Histogram.create ()) else None in
+    let served = ref 0 in
+    let h0 = Read_context.cache_hits r and m0 = Read_context.cache_misses r in
+    let r0 = Io_stats.reads (reader_io r) in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match lat with
+        | Some h ->
+            let t0 = Obs.Trace.now_ns () in
+            out.(i) <- query_ids_r t r qs.(i);
+            Obs.Histogram.record h (Obs.Trace.now_ns () - t0)
+        | None -> out.(i) <- query_ids_r t r qs.(i));
+        incr served;
+        loop ()
+      end
+    in
+    loop ();
+    (match lat with
+    | Some h -> Obs.Metrics.merge_histogram Obs.Metrics.default "parallel.query.ns" h
+    | None -> ());
+    stats.(k) <-
+      {
+        worker = k;
+        queries = !served;
+        reads = Io_stats.reads (reader_io r) - r0;
+        cache_hits = Read_context.cache_hits r - h0;
+        cache_misses = Read_context.cache_misses r - m0;
+      }
+  in
+  let spawned = Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
+  Array.iter Domain.join spawned;
+  (out, stats)
+
 let segments t =
   let acc = ref [] in
   iter_all t ~f:(fun s -> acc := s :: !acc);
@@ -191,10 +266,6 @@ let io t = t.cfg.stats
 
 let backend t = t.backend
 
-let backend_name t =
-  let (Pack ((module M), _)) = t.pack in
-  if M.name = "solution2" && not t.cfg.cascade then "solution2-nofc" else M.name
-
 let all_backends =
   [
     ("naive", `Naive);
@@ -211,6 +282,7 @@ let backend_tag b = List.find (fun (_, b') -> b' = b) all_backends |> fst
 (* ---------------- persistence ---------------- *)
 
 let save ?(image = true) t path =
+  Probe.span t.cfg.stats "snapshot.save" @@ fun () ->
   let image =
     if not image then None
     else Some (Marshal.to_string (t.cfg, t.pack) [ Marshal.Closures ])
@@ -230,6 +302,7 @@ let save ?(image = true) t path =
 type open_mode = Restored_image | Rebuilt
 
 let open_db_mode ?(use_image = true) path =
+  Segdb_obs.Trace.with_span "snapshot.open" @@ fun () ->
   let c = Snapshot.read ~path in
   let backend =
     match backend_of_string c.header.backend with

@@ -116,6 +116,29 @@ val parallel_query :
     domain (useful to keep shards warm across batches or to inspect
     per-worker I/O). No writer may run concurrently. *)
 
+type worker_stats = {
+  worker : int;
+  queries : int;  (** queries this domain answered *)
+  reads : int;  (** cold block reads charged to its reader *)
+  cache_hits : int;  (** lookups served by the reader's own shard *)
+  cache_misses : int;
+}
+
+val pp_worker_stats : Format.formatter -> worker_stats -> unit
+
+val parallel_query_stats :
+  ?readers:reader array ->
+  t ->
+  Vquery.t array ->
+  domains:int ->
+  int list array * worker_stats array
+(** {!parallel_query} plus per-worker accounting: how many queries each
+    domain served and what it paid in cold reads and reader-shard
+    hits/misses (deltas over the batch, so passed-in readers may be
+    reused). When {!Segdb_obs.Control.enabled}, each worker additionally
+    records its query latencies and merges them into
+    [Segdb_obs.Metrics.default] under ["parallel.query.ns"]. *)
+
 val backend : t -> backend
 val backend_name : t -> string
 

@@ -107,6 +107,7 @@ let build (cfg : Vs_index.config) segs =
 (* ---------------- query ---------------- *)
 
 let query t (q : Vquery.t) ~f =
+  Probe.span t.cfg.stats "sol1.descent" @@ fun () ->
   let seen = Hashtbl.create 16 in
   let emit id =
     if not (Hashtbl.mem seen id) then begin

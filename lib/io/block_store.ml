@@ -18,6 +18,11 @@ module Pool = struct
     Lru.put t.lru a entry ~on_evict:(fun _ e -> e.evict ())
 
   let forget t a = ignore (Lru.remove t.lru a)
+
+  let hits t = Lru.hits t.lru
+  let misses t = Lru.misses t.lru
+  let note_miss t = Lru.note_miss t.lru
+  let reset_stats t = Lru.reset_stats t.lru
 end
 
 module Make (P : sig
@@ -91,7 +96,11 @@ struct
     | Some payload -> (Obj.obj payload : P.t)
     | None -> (
         match Hashtbl.find_opt t.cache a with
-        | Some frame -> frame.payload
+        | Some frame ->
+            (* free (no disk read), but warm the reader's shard so the
+               next access is a local hit rather than a recounted miss *)
+            Read_context.add ctx ~uid:t.uid ~addr:a (Obj.repr frame.payload);
+            frame.payload
         | None -> (
             match Hashtbl.find_opt t.disk a with
             | Some payload ->
@@ -111,6 +120,7 @@ struct
         | None -> (
             match Hashtbl.find_opt t.disk a with
             | Some payload ->
+                Pool.note_miss t.pool;
                 Io_stats.record_read t.io;
                 Hashtbl.remove t.disk a;
                 make_resident t a { payload; dirty = false };

@@ -36,6 +36,16 @@ module Pool : sig
 
   val capacity : t -> int
   val resident : t -> int
+
+  val hits : t -> int
+  (** Lookups that found their block resident (serial path only: the
+      reader path consults the pool without touching it and accounts in
+      the reader's own context instead, see {!Read_context}). *)
+
+  val misses : t -> int
+  (** Serial-path lookups that had to fetch the block from disk. *)
+
+  val reset_stats : t -> unit
 end
 
 module Make (P : sig

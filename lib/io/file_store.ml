@@ -38,6 +38,9 @@ module Make (P : sig
   val codec : t Codec.t
 end) =
 struct
+  let c_page_read = Probe.counter "file_store.page_read"
+  let c_page_write = Probe.counter "file_store.page_write"
+
   type frame = { mutable payload : P.t; mutable dirty : bool }
 
   type t = {
@@ -152,6 +155,7 @@ struct
           let next = match rest with [] -> 0 | (q, _) :: _ -> q in
           write_page t p ~kind ~next ~chunk;
           Io_stats.record_write t.io;
+          Probe.bump c_page_write;
           emit rest
     in
     emit pages;
@@ -275,6 +279,7 @@ struct
     a
 
   let fetch t ~io a =
+    Probe.span t.io "file.fetch" @@ fun () ->
     let pages = try Hashtbl.find t.extents a with Not_found -> fail_unknown t a in
     let buf = Buffer.create (List.length pages * payload_capacity t) in
     List.iter
@@ -289,7 +294,8 @@ struct
         let len = Codec.R.u32 r in
         if len > payload_capacity t then corrupt "%s: page %d payload overflows" t.path p;
         Buffer.add_substring buf s header_bytes len;
-        Io_stats.record_read io)
+        Io_stats.record_read io;
+        Probe.bump c_page_read)
       pages;
     try Codec.decode P.codec (Buffer.contents buf)
     with Codec.Corrupt m -> corrupt "%s: block %d does not decode: %s" t.path a m

@@ -1,24 +1,30 @@
 type snapshot = { reads : int; writes : int; allocs : int }
 
-type t = { mutable reads : int; mutable writes : int; mutable allocs : int }
+(* Atomic fields: counters are bumped from parallel query workers
+   (each reader has its own [t], but the shared pool's counter can be
+   hit from several domains when readers fault the same block in), so
+   plain [mutable int] would drop increments. The [snapshot] record
+   stays plain ints — tests and callers compare snapshots
+   structurally. *)
+type t = { reads : int Atomic.t; writes : int Atomic.t; allocs : int Atomic.t }
 
-let create () = { reads = 0; writes = 0; allocs = 0 }
+let create () = { reads = Atomic.make 0; writes = Atomic.make 0; allocs = Atomic.make 0 }
 
-let record_read t = t.reads <- t.reads + 1
-let record_write t = t.writes <- t.writes + 1
-let record_alloc t = t.allocs <- t.allocs + 1
+let record_read t = Atomic.incr t.reads
+let record_write t = Atomic.incr t.writes
+let record_alloc t = Atomic.incr t.allocs
 
-let reads t = t.reads
-let writes t = t.writes
-let allocs t = t.allocs
-let total_io t = t.reads + t.writes
+let reads t = Atomic.get t.reads
+let writes t = Atomic.get t.writes
+let allocs t = Atomic.get t.allocs
+let total_io t = reads t + writes t
 
 let reset t =
-  t.reads <- 0;
-  t.writes <- 0;
-  t.allocs <- 0
+  Atomic.set t.reads 0;
+  Atomic.set t.writes 0;
+  Atomic.set t.allocs 0
 
-let snapshot t : snapshot = { reads = t.reads; writes = t.writes; allocs = t.allocs }
+let snapshot t : snapshot = { reads = reads t; writes = writes t; allocs = allocs t }
 
 let diff (before : snapshot) (after : snapshot) : snapshot =
   {
@@ -30,4 +36,4 @@ let diff (before : snapshot) (after : snapshot) : snapshot =
 let snapshot_total (s : snapshot) = s.reads + s.writes
 
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d" t.reads t.writes t.allocs
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d" (reads t) (writes t) (allocs t)

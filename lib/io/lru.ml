@@ -10,11 +10,20 @@ type 'a t = {
   table : (int, 'a node) Hashtbl.t;
   mutable head : 'a node option; (* most recently used *)
   mutable tail : 'a node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
 
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
@@ -37,11 +46,21 @@ let push_front t node =
 
 let find t key =
   match Hashtbl.find_opt t.table key with
-  | None -> None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
   | Some node ->
+      t.hits <- t.hits + 1;
       unlink t node;
       push_front t node;
       Some node.value
+
+let hits t = t.hits
+let misses t = t.misses
+let note_miss t = t.misses <- t.misses + 1
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
 
 let mem t key = Hashtbl.mem t.table key
 

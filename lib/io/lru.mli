@@ -37,3 +37,19 @@ val iter : 'a t -> (int -> 'a -> unit) -> unit
 
 val clear : 'a t -> on_evict:(int -> 'a -> unit) -> unit
 (** Empties the cache, invoking [on_evict] on every binding. *)
+
+val hits : 'a t -> int
+(** Lookups through {!find} that found their key, plus nothing else:
+    {!peek} and {!mem} stay uncounted because read contexts call them
+    on shared caches from concurrent domains, where bumping a counter
+    would be a data race. Callers on such paths account hits in their
+    own per-domain structures instead. *)
+
+val misses : 'a t -> int
+(** {!find} lookups that missed, plus explicit {!note_miss} calls. *)
+
+val note_miss : 'a t -> unit
+(** Records a miss detected before consulting the table — the block
+    store's disk path knows it missed without ever calling {!find}. *)
+
+val reset_stats : 'a t -> unit

@@ -1,0 +1,23 @@
+(* The bridge between the obs layer and I/O accounting.
+
+   Segdb_obs sits below segdb_io in the dependency order, so spans
+   cannot read Io_stats themselves; this helper closes the loop. A
+   structure passes the Io_stats.t it was built with, and the probe
+   samples whichever counter the current domain actually charges
+   (the installed reader's, inside [Read_context.with_reader]) at span
+   entry and exit, giving each span its blocks-read delta.
+
+   Everything here is behind [Control.enabled]: when tracing is off,
+   [span] is [f ()] after one atomic load. *)
+
+let blocks_of stats () = Io_stats.reads (Read_context.effective_stats stats)
+
+let span stats phase f =
+  if not (Segdb_obs.Control.enabled ()) then f ()
+  else Segdb_obs.Trace.with_span ~blocks:(blocks_of stats) phase f
+
+let counter name = Segdb_obs.Metrics.counter Segdb_obs.Metrics.default name
+
+let bump c = if Segdb_obs.Control.enabled () then Segdb_obs.Metrics.incr c
+
+let bump_by c n = if Segdb_obs.Control.enabled () then Segdb_obs.Metrics.add c n

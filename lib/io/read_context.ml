@@ -8,6 +8,8 @@ let create ?(cache_blocks = 64) () =
 let stats t = t.stats
 let capacity t = Lru.capacity t.cache
 let resident t = Lru.length t.cache
+let cache_hits t = Lru.hits t.cache
+let cache_misses t = Lru.misses t.cache
 
 let next_uid = Atomic.make 1
 let fresh_uid () = Atomic.fetch_and_add next_uid 1
@@ -18,6 +20,12 @@ let fresh_uid () = Atomic.fetch_and_add next_uid 1
 let current : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
 let active () = !(Domain.DLS.get current)
+
+(* The stats handle reads on this domain are charged to right now: the
+   installed reader's counter if any, the given default otherwise.
+   Probe sites use it to compute per-span block deltas that stay
+   correct inside [with_reader]. *)
+let effective_stats default = match active () with Some t -> t.stats | None -> default
 
 let with_reader t f =
   let slot = Domain.DLS.get current in

@@ -40,6 +40,17 @@ val capacity : t -> int
 val resident : t -> int
 (** Blocks currently held by the reader's shard. *)
 
+val cache_hits : t -> int
+(** Lookups served from the reader's own shard. *)
+
+val cache_misses : t -> int
+(** Shard misses (whether then served by the shared pool or by disk). *)
+
+val effective_stats : Io_stats.t -> Io_stats.t
+(** [effective_stats default] is the counter reads on the current domain
+    are charged to: the installed reader's stats, or [default] when no
+    read context is active. *)
+
 val with_reader : t -> (unit -> 'a) -> 'a
 (** [with_reader t f] installs [t] as the current domain's read context
     for the duration of [f] (restoring the previous one after, also on

@@ -6,6 +6,9 @@ type t = {
   mutable count : int;
 }
 
+let c_append = Probe.counter "wal.append"
+let c_replayed = Probe.counter "wal.replayed"
+
 let frame_overhead = 8 (* len u32 | crc u32 *)
 
 (* Longest valid prefix of [data]: the records it frames and the byte
@@ -50,6 +53,7 @@ let open_ ?(sync = true) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   if String.length existing > valid then Unix.ftruncate fd valid;
   ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  Probe.bump_by c_replayed (List.length records);
   ( { path; fd; sync_every_append = sync; bytes = valid; count = List.length records },
     records )
 
@@ -61,6 +65,8 @@ let write_all fd buf =
   done
 
 let append t payload =
+  Probe.bump c_append;
+  Segdb_obs.Trace.with_span "wal.append" @@ fun () ->
   let b = Buffer.create (frame_overhead + String.length payload) in
   Codec.W.u32 b (String.length payload);
   Codec.W.u32 b (Crc.string payload);

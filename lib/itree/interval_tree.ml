@@ -192,10 +192,11 @@ let rec stab_rec t addr x ~f =
           mids;
         stab_rec t kids.(k) x ~f
 
-let stab t x ~f = stab_rec t t.root x ~f
+let stab t x ~f = Probe.span t.io "itree.stab" @@ fun () -> stab_rec t t.root x ~f
 
 let overlap t ~lo ~hi ~f =
   if lo > hi then invalid_arg "Interval_tree.overlap: lo > hi";
+  Probe.span t.io "itree.overlap" @@ fun () ->
   stab t lo ~f;
   (* intervals starting strictly inside (lo, hi] overlap but do not
      contain lo *)

@@ -1,0 +1,18 @@
+(* The single on/off switch for the whole observability subsystem.
+
+   Every probe site in the I/O stack is guarded by [enabled ()]: one
+   atomic load, no allocation, no call when the subsystem is off — the
+   discipline that keeps the uninstrumented hot path at its PR 2 cost.
+   The flag is atomic (not a plain ref) so that flipping it from one
+   domain is visible to query workers on others without a data race. *)
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let with_enabled f =
+  let saved = Atomic.get on in
+  Atomic.set on true;
+  Fun.protect ~finally:(fun () -> Atomic.set on saved) f

@@ -1,0 +1,214 @@
+(* Exporters: the three read-out formats of a metrics registry, plus
+   the textual rendering of a trace dump.
+
+   - [text]: aligned tables (via Segdb_util.Table) for humans;
+   - [json]: one self-contained object for tooling and bench diffs;
+   - [prometheus]: the text exposition format — counters and gauges as
+     single samples, histograms as cumulative [_bucket{le="..."}]
+     series with [_sum]/[_count], names sanitized to the metric
+     charset and prefixed [segdb_]. *)
+
+module Table = Segdb_util.Table
+
+let pcts = [ (0.50, "p50"); (0.90, "p90"); (0.99, "p99") ]
+
+(* ---------------- aligned text ---------------- *)
+
+let text reg =
+  let buf = Buffer.create 1024 in
+  let counters = Metrics.counters reg and gauges = Metrics.gauges reg in
+  if counters <> [] || gauges <> [] then begin
+    let t = Table.create ~title:"counters" ~columns:[ "name"; "value" ] in
+    List.iter (fun (name, v) -> Table.add_row t [ name; Table.cell_int v ]) counters;
+    List.iter (fun (name, v) -> Table.add_row t [ name ^ " (gauge)"; Table.cell_int v ]) gauges;
+    Buffer.add_string buf (Table.render t)
+  end;
+  let hists = Metrics.histograms reg in
+  if hists <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let t =
+      Table.create ~title:"histograms"
+        ~columns:[ "name"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+    in
+    List.iter
+      (fun (name, h) ->
+        Table.add_row t
+          ([ name; Table.cell_int (Histogram.count h); Table.cell_float ~decimals:1 (Histogram.mean h) ]
+          @ List.map (fun (p, _) -> Table.cell_float ~decimals:0 (Histogram.percentile h p)) pcts
+          @ [ Table.cell_int (Histogram.max_value h) ]))
+      hists;
+    Buffer.add_string buf (Table.render t)
+  end;
+  Buffer.contents buf
+
+(* ---------------- JSON ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_nan v || Float.is_integer v then Printf.sprintf "%.0f" (if Float.is_nan v then 0.0 else v)
+  else Printf.sprintf "%.6g" v
+
+let json reg =
+  let buf = Buffer.create 4096 in
+  let obj fields = "{" ^ String.concat ", " fields ^ "}" in
+  let scalar_section bindings =
+    obj (List.map (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v) bindings)
+  in
+  let hist_entry (name, h) =
+    let nonzero =
+      Array.to_list (Histogram.buckets h)
+      |> List.mapi (fun b c -> (b, c))
+      |> List.filter (fun (_, c) -> c > 0)
+      |> List.map (fun (b, c) ->
+             let lo, hi = Histogram.bucket_bounds b in
+             Printf.sprintf "[%d, %d, %d]" (max 0 lo) (max 0 hi) c)
+    in
+    Printf.sprintf "\"%s\": %s" (json_escape name)
+      (obj
+         ([
+            Printf.sprintf "\"count\": %d" (Histogram.count h);
+            Printf.sprintf "\"sum\": %d" (Histogram.sum h);
+            Printf.sprintf "\"min\": %d" (Histogram.min_value h);
+            Printf.sprintf "\"max\": %d" (Histogram.max_value h);
+            Printf.sprintf "\"mean\": %s" (json_float (Histogram.mean h));
+          ]
+         @ List.map
+             (fun (p, label) ->
+               Printf.sprintf "\"%s\": %s" label (json_float (Histogram.percentile h p)))
+             pcts
+         @ [ Printf.sprintf "\"buckets\": [%s]" (String.concat ", " nonzero) ]))
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"counters\": %s,\n" (scalar_section (Metrics.counters reg)));
+  Buffer.add_string buf (Printf.sprintf "  \"gauges\": %s,\n" (scalar_section (Metrics.gauges reg)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"histograms\": {%s}\n"
+       (String.concat ",\n    " (List.map hist_entry (Metrics.histograms reg))));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---------------- Prometheus text format ---------------- *)
+
+let prom_name name =
+  let buf = Buffer.create (String.length name + 6) in
+  Buffer.add_string buf "segdb_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus reg =
+  let buf = Buffer.create 4096 in
+  let sample name typ lines =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+    List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      sample n "counter" [ Printf.sprintf "%s %d" n v ])
+    (Metrics.counters reg);
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      sample n "gauge" [ Printf.sprintf "%s %d" n v ])
+    (Metrics.gauges reg);
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      let buckets = Histogram.buckets h in
+      let top =
+        (* highest non-empty bucket: emit up to there, then +Inf *)
+        let t = ref 0 in
+        Array.iteri (fun b c -> if c > 0 then t := b) buckets;
+        !t
+      in
+      let cum = ref 0 in
+      let lines = ref [] in
+      for b = 0 to top do
+        cum := !cum + buckets.(b);
+        let _, hi = Histogram.bucket_bounds b in
+        lines := Printf.sprintf "%s_bucket{le=\"%d\"} %d" n (max 0 hi) !cum :: !lines
+      done;
+      lines := Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n (Histogram.count h) :: !lines;
+      lines := Printf.sprintf "%s_sum %d" n (Histogram.sum h) :: !lines;
+      lines := Printf.sprintf "%s_count %d" n (Histogram.count h) :: !lines;
+      sample n "histogram" (List.rev !lines))
+    (Metrics.histograms reg);
+  Buffer.contents buf
+
+(* ---------------- trace rendering ---------------- *)
+
+let trace_text events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "seq    phase                                dur(us)  blocks\n";
+  List.iter
+    (fun (ev : Trace.event) ->
+      let label = String.make (2 * ev.depth) ' ' ^ ev.phase in
+      Buffer.add_string buf
+        (Printf.sprintf "%-6d %-36s %8.1f %7d\n" ev.seq label
+           (float_of_int ev.dur_ns /. 1e3)
+           ev.blocks))
+    events;
+  Buffer.contents buf
+
+(* Per-phase roll-up of the span histograms ([span.<phase>.ns] paired
+   with [span.<phase>.blocks]) — the table the bench and the CLI's
+   --trace flag print. *)
+let phase_summary reg =
+  let hists = Metrics.histograms reg in
+  let phase_of name =
+    if String.length name > 8 && String.sub name 0 5 = "span." && Filename.check_suffix name ".ns"
+    then Some (String.sub name 5 (String.length name - 8))
+    else None
+  in
+  let t =
+    Table.create ~title:"per-phase spans"
+      ~columns:
+        [ "phase"; "count"; "p50 us"; "p90 us"; "p99 us"; "max us"; "p50 blk"; "max blk" ]
+  in
+  let any = ref false in
+  List.iter
+    (fun (name, h) ->
+      match phase_of name with
+      | None -> ()
+      | Some _ when Histogram.is_empty h -> ()
+      | Some phase ->
+          any := true;
+          let blocks =
+            match List.assoc_opt (Trace.span_blocks_histogram phase) hists with
+            | Some b -> b
+            | None -> Histogram.create ()
+          in
+          let us v = v /. 1e3 in
+          Table.add_row t
+            [
+              phase;
+              Table.cell_int (Histogram.count h);
+              Table.cell_float ~decimals:1 (us (Histogram.percentile h 0.5));
+              Table.cell_float ~decimals:1 (us (Histogram.percentile h 0.9));
+              Table.cell_float ~decimals:1 (us (Histogram.percentile h 0.99));
+              Table.cell_float ~decimals:1 (us (float_of_int (Histogram.max_value h)));
+              Table.cell_float ~decimals:1 (Histogram.percentile blocks 0.5);
+              Table.cell_int (Histogram.max_value blocks);
+            ])
+    hists;
+  if !any then Table.render t else "(no spans recorded)\n"

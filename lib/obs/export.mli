@@ -1,0 +1,22 @@
+(** Render a metrics registry (and trace dumps) for humans and tools. *)
+
+val text : Metrics.t -> string
+(** Aligned tables: counters/gauges, then histogram summaries. *)
+
+val json : Metrics.t -> string
+(** One JSON object: [{"counters": {...}, "gauges": {...},
+    "histograms": {...}}]. Histogram entries carry count/sum/min/max/
+    mean/p50/p90/p99 plus the non-empty buckets as [[lo, hi, count]]
+    triples. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text exposition format. Names are sanitized to
+    [[A-Za-z0-9_]] and prefixed [segdb_]; histograms become cumulative
+    [_bucket{le="..."}] series with [_sum] and [_count]. *)
+
+val trace_text : Trace.event list -> string
+(** The span dump: one line per event, indented by nesting depth. *)
+
+val phase_summary : Metrics.t -> string
+(** Per-phase percentile table built from the [span.<phase>.ns] /
+    [span.<phase>.blocks] histogram pairs in the registry. *)

@@ -1,0 +1,58 @@
+(** Log-bucketed histogram over non-negative integers.
+
+    The workhorse of the metrics registry: latency-in-nanoseconds and
+    blocks-per-operation distributions with cheap O(1) recording and
+    p50/p90/p99/max read-out. Buckets are dyadic — bucket [b >= 1]
+    holds values in [[2^(b-1), 2^b - 1]], bucket 0 holds [v <= 0] — so
+    relative error of an interpolated percentile is bounded by the
+    bucket width while memory stays at 64 ints per histogram.
+
+    A histogram is single-owner: record from one domain at a time and
+    combine per-domain instances with {!merge_into} (the registry's
+    {!Metrics.observe} adds the locking for shared instances). *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** Adds one sample. Values [<= 0] land in bucket 0. *)
+
+val count : t -> int
+val sum : t -> int
+val is_empty : t -> bool
+
+val min_value : t -> int
+(** Exact smallest recorded sample; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact largest recorded sample; 0 when empty. *)
+
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [[0, 1]]: linear interpolation inside
+    the landing bucket, clamped to the exact min/max (so a histogram
+    whose samples are all equal answers exactly). Raises
+    [Invalid_argument] outside [[0, 1]]; 0 when empty. *)
+
+val merge_into : into:t -> t -> unit
+(** Pointwise sum: after [merge_into ~into src], [into] describes the
+    union of both sample sets. Associative and commutative — the
+    property cross-domain aggregation relies on. [src] is unchanged. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val bucket_of : int -> int
+(** The bucket index a value lands in. *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive [(lo, hi)] range of a bucket; bucket 0 reports
+    [(min_int, 0)]. *)
+
+val buckets : t -> int array
+(** A copy of the per-bucket counts (64 entries). *)
+
+val pp : Format.formatter -> t -> unit

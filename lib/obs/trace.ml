@@ -1,0 +1,108 @@
+(* Trace spans: phase-labelled intervals of the query pipeline,
+   recorded into a fixed-size ring buffer and summarized into the
+   default registry's per-phase histograms.
+
+   A span is entered with the current block-read count of whatever
+   Io_stats the caller is charged against and exited with the same
+   counter read again, so each event carries both wall time and blocks
+   touched during the phase. Nesting depth is tracked per domain (a
+   DLS counter), which lets the dump indent a query's pipeline —
+   first-level descent, then the PST / interval-tree / slab probes it
+   dispatches — without the probes knowing about each other.
+
+   When tracing is off ([Control.enabled () = false]) [enter] returns
+   the shared [none] span and [exit] returns immediately: no
+   allocation, no lock, no clock read. When on, ring pushes and
+   histogram updates share one mutex, making span exit safe from
+   concurrent query workers. *)
+
+type event = {
+  seq : int;
+  phase : string;
+  depth : int;
+  t0_ns : int;
+  dur_ns : int;
+  blocks : int;
+}
+
+type span = { sphase : string; st0 : int; sblocks : int; sdepth : int }
+
+let none = { sphase = ""; st0 = 0; sblocks = 0; sdepth = 0 }
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ---------------- the ring ---------------- *)
+
+let mu = Mutex.create ()
+let default_capacity = 4096
+let ring : event option array ref = ref (Array.make default_capacity None)
+let next_seq = ref 0
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  locked (fun () ->
+      ring := Array.make n None;
+      next_seq := 0)
+
+let capacity () = locked (fun () -> Array.length !ring)
+
+let clear () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      next_seq := 0)
+
+let push ev =
+  let r = !ring in
+  r.(ev.seq mod Array.length r) <- Some ev
+
+let events () =
+  locked (fun () ->
+      let r = !ring in
+      let cap = Array.length r in
+      let first = max 0 (!next_seq - cap) in
+      let acc = ref [] in
+      for seq = !next_seq - 1 downto first do
+        match r.(seq mod cap) with Some ev -> acc := ev :: !acc | None -> ()
+      done;
+      !acc)
+
+(* ---------------- spans ---------------- *)
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let span_histogram phase = "span." ^ phase ^ ".ns"
+let span_blocks_histogram phase = "span." ^ phase ^ ".blocks"
+
+let enter ?(blocks = 0) phase =
+  if not (Control.enabled ()) then none
+  else begin
+    let d = Domain.DLS.get depth_key in
+    let sp = { sphase = phase; st0 = now_ns (); sblocks = blocks; sdepth = !d } in
+    incr d;
+    sp
+  end
+
+let exit ?(blocks = 0) sp =
+  if sp != none then begin
+    let d = Domain.DLS.get depth_key in
+    if !d > 0 then decr d;
+    let dur = now_ns () - sp.st0 in
+    let blocks = max 0 (blocks - sp.sblocks) in
+    locked (fun () ->
+        let seq = !next_seq in
+        incr next_seq;
+        push { seq; phase = sp.sphase; depth = sp.sdepth; t0_ns = sp.st0; dur_ns = dur; blocks });
+    Metrics.observe Metrics.default (span_histogram sp.sphase) dur;
+    Metrics.observe Metrics.default (span_blocks_histogram sp.sphase) blocks
+  end
+
+let with_span ?(blocks = fun () -> 0) phase f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let sp = enter ~blocks:(blocks ()) phase in
+    Fun.protect ~finally:(fun () -> exit ~blocks:(blocks ()) sp) f
+  end

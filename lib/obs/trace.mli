@@ -1,0 +1,61 @@
+(** Trace spans over the query pipeline.
+
+    A span marks one phase of work — a first-level descent step, a PST
+    [Find]/[Report], an interval-tree stab, a slab-tree walk, a
+    [File_store] page fetch, a WAL append. Finished spans land in a
+    fixed-size ring buffer (oldest overwritten first) and their
+    durations and block counts feed per-phase histograms
+    ([span.<phase>.ns] / [span.<phase>.blocks]) in
+    {!Metrics.default}, which is where the per-phase percentile tables
+    come from.
+
+    All of it is inert while {!Control.enabled} is false: [enter]
+    returns a shared dummy, [exit] returns immediately, nothing is
+    allocated or locked. *)
+
+type event = {
+  seq : int;  (** monotone across the process; survives wraparound *)
+  phase : string;
+  depth : int;  (** nesting depth on the recording domain *)
+  t0_ns : int;  (** wall-clock start, nanoseconds *)
+  dur_ns : int;
+  blocks : int;  (** block reads charged during the span *)
+}
+
+type span
+
+val none : span
+(** The disabled span; exiting it is a no-op. *)
+
+val enter : ?blocks:int -> string -> span
+(** Opens a span for [phase]. [blocks] is the caller's current
+    block-read counter (see {!Segdb_io.Probe} for the helper that picks
+    the right one); the matching [exit] turns the pair into a delta. *)
+
+val exit : ?blocks:int -> span -> unit
+(** Closes the span: records the event in the ring and feeds the
+    per-phase histograms. Safe from any domain. *)
+
+val with_span : ?blocks:(unit -> int) -> string -> (unit -> 'a) -> 'a
+(** [with_span phase f] wraps [f] in a span, sampling [blocks] at entry
+    and exit. When tracing is off this is exactly [f ()]. *)
+
+val events : unit -> event list
+(** The ring's surviving events, oldest first (at most [capacity]). *)
+
+val clear : unit -> unit
+
+val set_capacity : int -> unit
+(** Replaces the ring (discarding recorded events). Default 4096. *)
+
+val capacity : unit -> int
+
+val span_histogram : string -> string
+(** [span_histogram phase] is the name of the duration histogram the
+    phase feeds in {!Metrics.default} ([span.<phase>.ns]). *)
+
+val span_blocks_histogram : string -> string
+(** The blocks-per-span histogram name ([span.<phase>.blocks]). *)
+
+val now_ns : unit -> int
+(** The clock spans are stamped with (wall time in nanoseconds). *)

@@ -162,6 +162,7 @@ let block_count t = Store.block_count t.store
    subtrees are pruned through their routers. *)
 
 let query t (q : Lseg.query) ~f =
+  Probe.span t.io "pst.report" @@ fun () ->
   let lo = ref None and hi = ref None in
   let pruned (c : child) =
     (match !lo with Some w -> Lseg.compare_key c.kmax w <= 0 | None -> false)
@@ -204,6 +205,7 @@ let count t q =
    (Lemma 1.1). A DFS ordered toward the sought boundary, with witness
    pruning plus pruning against the best answer found so far. *)
 let find_gen t (q : Lseg.query) ~leftmost =
+  Probe.span t.io "pst.find" @@ fun () ->
   let lo = ref None and hi = ref None and best = ref None in
   let better s =
     match !best with
@@ -330,6 +332,7 @@ let find_rightmost_bfs t q = (find_profile t q ~leftmost:false).result
    [query] is the production path; this variant exists to execute the
    paper's algorithm as written and is oracle-tested against [query]. *)
 let query_two_phase t (q : Lseg.query) ~f =
+  Probe.span t.io "pst.report" @@ fun () ->
   match (find_leftmost t q, find_rightmost t q) with
   | None, _ | _, None -> ()
   | Some sl, Some sr ->

@@ -225,6 +225,9 @@ let fallback_searches t = Atomic.get t.fallback
    [x], so the backward walk emits only reported fragments and stops at
    the first one below [ylo]; the forward walk emits until [yhi] is
    passed. Only fallback levels (no parent match) pay a list search. *)
+let c_guided = Probe.counter "slab.cascade_guided"
+let c_fallback = Probe.counter "slab.cascade_fallback"
+
 let descend t ~x ~ylo ~yhi ~k ~emit =
   let y_of (e : entry) = Segment.y_at e.frag x in
   let rec go node guidance =
@@ -250,6 +253,7 @@ let descend t ~x ~ylo ~yhi ~k ~emit =
         (match guidance with
         | Some pos when t.cascade ->
             Atomic.incr t.guided;
+            Probe.bump c_guided;
             (* matches below the landing, in decreasing order; the last
                accepted is the subtree's first match *)
             Plist.walk_backward list pos (fun e ->
@@ -263,6 +267,7 @@ let descend t ~x ~ylo ~yhi ~k ~emit =
             if !f1 = None then f1 := first_fwd
         | _ ->
             Atomic.incr t.fallback;
+            Probe.bump c_fallback;
             let idx = Plist.search list ~cmp:(fun e -> if y_of e >= ylo then 0 else -1) in
             if idx < Plist.length list then f1 := forward_from (Plist.pos_of list idx));
         !f1
@@ -292,6 +297,7 @@ let descend t ~x ~ylo ~yhi ~k ~emit =
 
 let query t ~x ~ylo ~yhi ~f =
   if ylo > yhi then invalid_arg "Slab_segment_tree.query: ylo > yhi";
+  Probe.span t.io "slab.query" @@ fun () ->
   let boundaries = t.boundaries in
   let nb = Array.length boundaries in
   if nb >= 2 && x >= boundaries.(0) && x <= boundaries.(nb - 1) then begin

@@ -1,0 +1,384 @@
+(* Observability layer: histogram math, registry merging, the trace
+   ring, the exporters, and the contract that matters most — turning
+   tracing on never changes any query answer. *)
+
+open Segdb_obs
+module Io_stats = Segdb_io.Io_stats
+module Lru = Segdb_io.Lru
+module W = Segdb_workload.Workload
+module Rng = Segdb_util.Rng
+module Vs = Segdb_core.Vs_index
+module Db = Segdb_core.Segdb
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---------------- histograms ---------------- *)
+
+let test_bucket_boundaries () =
+  (* bucket 0 holds v <= 0; bucket b >= 1 holds [2^(b-1), 2^b - 1] *)
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket of %d" v) b (Histogram.bucket_of v))
+    [
+      (min_int, 0);
+      (-1, 0);
+      (0, 0);
+      (1, 1);
+      (2, 2);
+      (3, 2);
+      (4, 3);
+      (7, 3);
+      (8, 4);
+      (1023, 10);
+      (1024, 11);
+    ];
+  for b = 1 to 20 do
+    let lo, hi = Histogram.bucket_bounds b in
+    Alcotest.(check int) "lo lands in b" b (Histogram.bucket_of lo);
+    Alcotest.(check int) "hi lands in b" b (Histogram.bucket_of hi);
+    Alcotest.(check bool) "hi+1 leaves b" true (Histogram.bucket_of (hi + 1) = b + 1)
+  done
+
+let test_percentiles_exact () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Histogram.percentile h 0.5);
+  Histogram.record h 7;
+  (* a single sample is every percentile *)
+  Alcotest.(check (float 0.0)) "single p1" 7.0 (Histogram.percentile h 0.01);
+  Alcotest.(check (float 0.0)) "single p99" 7.0 (Histogram.percentile h 0.99);
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.record h v
+  done;
+  (* percentiles are interpolated inside dyadic buckets, so allow the
+     bucket's resolution, but the clamp to observed min/max is exact *)
+  let p50 = Histogram.percentile h 0.5 in
+  Alcotest.(check bool) "p50 in [32,64]" true (p50 >= 32.0 && p50 <= 64.0);
+  let p99 = Histogram.percentile h 0.99 in
+  Alcotest.(check bool) "p99 in [64,100]" true (p99 >= 64.0 && p99 <= 100.0);
+  Alcotest.(check (float 0.0)) "p100 = max" 100.0 (Histogram.percentile h 1.0);
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check int) "sum" 5050 (Histogram.sum h);
+  Alcotest.(check int) "min" 1 (Histogram.min_value h);
+  Alcotest.(check int) "max" 100 (Histogram.max_value h)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative and commutative" ~count:200
+    QCheck.(triple (small_list small_signed_int) (small_list small_signed_int) (small_list small_signed_int))
+    (fun (xs, ys, zs) ->
+      let of_list l =
+        let h = Histogram.create () in
+        List.iter (Histogram.record h) l;
+        h
+      in
+      let merged lists =
+        let acc = Histogram.create () in
+        List.iter (fun l -> Histogram.merge_into ~into:acc (of_list l)) lists;
+        acc
+      in
+      (* (x + y) + z = x + (y + z) = z + y + x = one histogram of all *)
+      let a =
+        let xy = merged [ xs; ys ] in
+        Histogram.merge_into ~into:xy (of_list zs);
+        xy
+      in
+      let b =
+        let yz = merged [ ys; zs ] in
+        let acc = of_list xs in
+        Histogram.merge_into ~into:acc yz;
+        acc
+      in
+      let c = merged [ zs; ys; xs ] in
+      let d = of_list (xs @ ys @ zs) in
+      Histogram.equal a b && Histogram.equal b c && Histogram.equal c d)
+
+let test_merge_across_domains () =
+  (* each domain records into a private histogram; the merged view
+     equals one histogram fed everything *)
+  let parts =
+    Array.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            let h = Histogram.create () in
+            for v = 1 to 1000 do
+              Histogram.record h ((v * (k + 1)) land 4095)
+            done;
+            h))
+    |> Array.map Domain.join
+  in
+  let merged = Histogram.create () in
+  Array.iter (fun h -> Histogram.merge_into ~into:merged h) parts;
+  let expect = Histogram.create () in
+  for k = 0 to 3 do
+    for v = 1 to 1000 do
+      Histogram.record expect ((v * (k + 1)) land 4095)
+    done
+  done;
+  Alcotest.(check bool) "merged = serial" true (Histogram.equal merged expect)
+
+(* ---------------- metrics registry ---------------- *)
+
+let test_registry_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "a.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check bool) "same handle" true (Metrics.counter r "a.count" == c);
+  Metrics.set_gauge (Metrics.gauge r "depth") 3;
+  Metrics.observe r "lat" 10;
+  Metrics.observe r "lat" 20;
+  let other = Metrics.create () in
+  Metrics.add (Metrics.counter other "a.count") 2;
+  Metrics.observe other "lat" 30;
+  Metrics.merge_into ~into:r other;
+  Alcotest.(check int) "merged counter" 7 (Metrics.value c);
+  (match Metrics.histogram r "lat" with
+  | Some h -> Alcotest.(check int) "merged histogram" 3 (Histogram.count h)
+  | None -> Alcotest.fail "lat histogram missing");
+  Alcotest.(check (list (pair string int))) "sorted counters" [ ("a.count", 7) ] (Metrics.counters r);
+  Metrics.reset r;
+  Alcotest.(check int) "reset zeroes via old handle" 0 (Metrics.value c)
+
+let test_atomic_io_stats () =
+  (* satellite 1: concurrent recorders lose no increments *)
+  let s = Io_stats.create () in
+  let per = 25_000 in
+  Array.init 4 (fun _ ->
+      Domain.spawn (fun () ->
+          for _ = 1 to per do
+            Io_stats.record_read s;
+            Io_stats.record_write s;
+            Io_stats.record_alloc s
+          done))
+  |> Array.iter Domain.join;
+  Alcotest.(check int) "reads" (4 * per) (Io_stats.reads s);
+  Alcotest.(check int) "writes" (4 * per) (Io_stats.writes s);
+  Alcotest.(check int) "allocs" (4 * per) (Io_stats.allocs s);
+  let snap = Io_stats.snapshot s in
+  Alcotest.(check int) "snapshot total" (8 * per) (Io_stats.snapshot_total snap)
+
+(* ---------------- trace ring ---------------- *)
+
+let with_tracing f =
+  Trace.clear ();
+  Metrics.reset Metrics.default;
+  Fun.protect ~finally:(fun () -> Control.disable ()) (fun () ->
+      Control.enable ();
+      f ())
+
+let test_ring_wraparound () =
+  with_tracing @@ fun () ->
+  Trace.set_capacity 8;
+  Fun.protect ~finally:(fun () -> Trace.set_capacity 4096) @@ fun () ->
+  for i = 0 to 19 do
+    Trace.with_span (Printf.sprintf "p%d" i) (fun () -> ())
+  done;
+  let evs = Trace.events () in
+  Alcotest.(check int) "capacity survivors" 8 (List.length evs);
+  (* the survivors are the 8 newest, oldest first, seq monotone *)
+  List.iteri
+    (fun i (ev : Trace.event) ->
+      Alcotest.(check int) "seq" (12 + i) ev.seq;
+      Alcotest.(check string) "phase" (Printf.sprintf "p%d" (12 + i)) ev.phase)
+    evs
+
+let test_span_nesting_and_histograms () =
+  with_tracing @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" (fun () -> ());
+      Trace.with_span "inner" (fun () -> ()));
+  let evs = Trace.events () in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let depth_of phase =
+    (List.find (fun (e : Trace.event) -> e.phase = phase) evs).depth
+  in
+  Alcotest.(check int) "outer depth" 0 (depth_of "outer");
+  Alcotest.(check int) "inner depth" 1 (depth_of "inner");
+  (match Metrics.histogram Metrics.default (Trace.span_histogram "inner") with
+  | Some h -> Alcotest.(check int) "inner samples" 2 (Histogram.count h)
+  | None -> Alcotest.fail "span histogram missing");
+  (* disabled means inert: no new events *)
+  Control.disable ();
+  Trace.with_span "ghost" (fun () -> ());
+  Alcotest.(check int) "still three" 3 (List.length (Trace.events ()))
+
+(* ---------------- LRU / reader cache stats ---------------- *)
+
+let test_lru_hit_miss () =
+  let l = Lru.create ~capacity:2 in
+  Alcotest.(check bool) "miss on empty" true (Lru.find l 1 = None);
+  Lru.put l 1 "a" ~on_evict:(fun _ _ -> ());
+  ignore (Lru.find l 1);
+  ignore (Lru.peek l 2);
+  (* peek never counts *)
+  Lru.note_miss l;
+  Alcotest.(check int) "hits" 1 (Lru.hits l);
+  Alcotest.(check int) "misses" 2 (Lru.misses l);
+  Lru.reset_stats l;
+  Alcotest.(check int) "reset hits" 0 (Lru.hits l);
+  Alcotest.(check int) "reset misses" 0 (Lru.misses l)
+
+let test_reader_cache_stats () =
+  let n = 60 in
+  let segs = W.roads (Rng.create 5) ~n ~span:100.0 in
+  let db = Db.create ~backend:`Solution2 ~block:8 ~pool_blocks:4 segs in
+  let r = Db.reader ~cache_blocks:64 db in
+  let q = Segdb_geom.Vquery.line ~x:50.0 in
+  ignore (Db.query_ids_r db r q);
+  let h1 = Segdb_io.Read_context.cache_hits r in
+  let m1 = Segdb_io.Read_context.cache_misses r in
+  Alcotest.(check bool) "cold run misses" true (m1 > 0);
+  ignore (Db.query_ids_r db r q);
+  Alcotest.(check bool) "warm run hits" true (Segdb_io.Read_context.cache_hits r > h1);
+  Alcotest.(check int) "warm run adds no misses" m1 (Segdb_io.Read_context.cache_misses r)
+
+(* ---------------- parallel worker stats ---------------- *)
+
+let test_parallel_query_stats () =
+  let n = 200 in
+  let segs = W.roads (Rng.create 7) ~n ~span:100.0 in
+  let db = Db.create ~backend:`Solution2 ~block:8 ~pool_blocks:8 segs in
+  let rng = Rng.create 8 in
+  let qs = Array.init 40 (fun _ -> Segdb_geom.Vquery.line ~x:(Rng.float rng 100.0)) in
+  let expect = Array.map (fun q -> Db.query_ids db q) qs in
+  let out, stats = Db.parallel_query_stats db qs ~domains:3 in
+  Alcotest.(check bool) "answers match serial" true (out = expect);
+  Alcotest.(check int) "one row per worker" 3 (Array.length stats);
+  let total = Array.fold_left (fun acc (w : Db.worker_stats) -> acc + w.queries) 0 stats in
+  Alcotest.(check int) "workers served the whole batch" (Array.length qs) total;
+  Array.iteri
+    (fun k (w : Db.worker_stats) ->
+      Alcotest.(check int) "worker id" k w.worker;
+      Alcotest.(check bool) "counters non-negative" true
+        (w.reads >= 0 && w.cache_hits >= 0 && w.cache_misses >= 0))
+    stats;
+  (* with obs on, worker latencies land in the default registry *)
+  with_tracing (fun () ->
+      let _ = Db.parallel_query_stats db qs ~domains:2 in
+      match Metrics.histogram Metrics.default "parallel.query.ns" with
+      | Some h -> Alcotest.(check int) "latency samples" (Array.length qs) (Histogram.count h)
+      | None -> Alcotest.fail "parallel.query.ns missing")
+
+(* ---------------- tracing never changes answers ---------------- *)
+
+let backends : (string * Db.backend) list =
+  [
+    ("naive", `Naive);
+    ("rtree", `Rtree);
+    ("solution1", `Solution1);
+    ("solution2", `Solution2);
+  ]
+
+let random_query rng =
+  let x = Rng.float rng 120.0 -. 10.0 in
+  match Rng.int rng 4 with
+  | 0 -> Segdb_geom.Vquery.line ~x
+  | 1 -> Segdb_geom.Vquery.ray_up ~x ~ylo:(Rng.float rng 100.0)
+  | 2 -> Segdb_geom.Vquery.ray_down ~x ~yhi:(Rng.float rng 100.0)
+  | _ ->
+      let y = Rng.float rng 100.0 in
+      Segdb_geom.Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 40.0)
+
+let prop_tracing_is_transparent =
+  QCheck.Test.make ~name:"enabling tracing never changes query results" ~count:25
+    QCheck.(pair (int_bound 100_000) (int_bound 100))
+    (fun (seed, n) ->
+      let segs = W.roads (Rng.create seed) ~n ~span:100.0 in
+      let rng = Rng.create (seed + 1) in
+      let qs = Array.init 12 (fun _ -> random_query rng) in
+      List.for_all
+        (fun (_, backend) ->
+          let db = Db.create ~backend ~block:8 ~pool_blocks:8 segs in
+          let plain = Array.map (fun q -> Db.query_ids db q) qs in
+          let traced =
+            with_tracing (fun () -> Array.map (fun q -> Db.query_ids db q) qs)
+          in
+          plain = traced)
+        backends)
+
+(* ---------------- exporters ---------------- *)
+
+(* A tiny JSON well-formedness check: every brace/bracket balances and
+   strings close. Not a full parser, but catches the classic exporter
+   bugs (trailing commas are caught by CI's python -m json.tool; here
+   we guard structure). *)
+let json_balanced s =
+  let depth = ref 0 and ok = ref true and in_str = ref false and esc = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then begin
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let exporter_registry () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "io.reads") 42;
+  Metrics.set_gauge (Metrics.gauge r "pool.resident") 7;
+  List.iter (Metrics.observe r "span.pst.report.ns") [ 100; 2000; 2500; 90000 ];
+  List.iter (Metrics.observe r "span.pst.report.blocks") [ 0; 1; 1; 3 ];
+  r
+
+let test_exporters () =
+  let r = exporter_registry () in
+  let txt = Export.text r in
+  Alcotest.(check bool) "text mentions counter" true
+    (contains txt "io.reads");
+  let js = Export.json r in
+  Alcotest.(check bool) "json balanced" true (json_balanced js);
+  Alcotest.(check bool) "json has histogram stats" true
+    (contains js "\"p99\"");
+  let prom = Export.prometheus r in
+  (* every non-comment line is "name[{le=...}] number"; cumulative
+     buckets end with the +Inf bucket equal to _count *)
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.fail ("prometheus line without value: " ^ line)
+           | Some i -> (
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               match float_of_string_opt v with
+               | Some _ -> ()
+               | None -> Alcotest.fail ("prometheus value not numeric: " ^ line)));
+  Alcotest.(check bool) "prometheus prefixes names" true
+    (contains prom "segdb_io_reads 42");
+  Alcotest.(check bool) "prometheus cumulative +Inf" true
+    (contains prom "segdb_span_pst_report_ns_bucket{le=\"+Inf\"} 4");
+  let summary = Export.phase_summary r in
+  Alcotest.(check bool) "phase summary extracts phase" true
+    (contains summary "pst.report")
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "histogram bucket boundaries" `Quick test_bucket_boundaries;
+      Alcotest.test_case "histogram percentiles" `Quick test_percentiles_exact;
+      qtest prop_merge_associative;
+      Alcotest.test_case "cross-domain histogram merge" `Quick test_merge_across_domains;
+      Alcotest.test_case "metrics registry basics + merge" `Quick test_registry_basics;
+      Alcotest.test_case "io_stats increments are atomic" `Quick test_atomic_io_stats;
+      Alcotest.test_case "trace ring wraparound" `Quick test_ring_wraparound;
+      Alcotest.test_case "span nesting feeds histograms" `Quick test_span_nesting_and_histograms;
+      Alcotest.test_case "lru hit/miss counters" `Quick test_lru_hit_miss;
+      Alcotest.test_case "reader cache stats" `Quick test_reader_cache_stats;
+      Alcotest.test_case "parallel_query_stats" `Quick test_parallel_query_stats;
+      qtest prop_tracing_is_transparent;
+      Alcotest.test_case "exporters: text/json/prometheus" `Quick test_exporters;
+    ] )
