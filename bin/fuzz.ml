@@ -6,14 +6,25 @@
    in-memory model. Any divergence prints the seed and aborts, so a
    failure is a one-line reproducer.
 
+   With --crash, runs the crash matrix instead: for every registered
+   fault site, arm a hard crash cut at that site, run a workload until
+   it fires, kill the process state there, recover from what survives
+   on disk, and cross-check the recovered database against the model
+   (allowing exactly the in-flight operation to differ).
+
    Usage: fuzz [--rounds N] [--ops N] [--seed N] [--size N]
-               [--persist] [--parallel] [--domains N]                 *)
+               [--persist] [--parallel] [--domains N] [--crash]       *)
 
 open Cmdliner
 open Segdb_geom
 module W = Segdb_workload.Workload
 module Rng = Segdb_util.Rng
 module Vs = Segdb_core.Vs_index
+module Io_stats = Segdb_io.Io_stats
+module Codec = Segdb_io.Codec
+module File_store = Segdb_io.File_store
+module Failpoint = Segdb_io.Failpoint
+module Snapshot = Segdb_core.Snapshot
 
 module Model = struct
   let create () : (int, Segment.t) Hashtbl.t = Hashtbl.create 256
@@ -325,7 +336,301 @@ let run_persist_round ~seed ~ops ~size round =
      the at_exit sweep of the root covers every early-exit path *)
   remove_tree dir
 
-let fuzz rounds ops seed size persist parallel domains =
+(* ---------------- crash matrix ----------------
+
+   One round per (round, site): a workload runs with a hard crash cut
+   armed at the site; when it fires, the in-memory state is abandoned
+   exactly as a dying process would leave it, and recovery must
+   reconstruct the model — modulo the single operation that was in
+   flight, which may legitimately be present (logged before the cut)
+   or absent (cut before the log write). *)
+
+let ids_of_model model =
+  Hashtbl.fold (fun id _ acc -> id :: acc) model [] |> List.sort compare
+
+let site_dir site round =
+  let dir =
+    Filename.concat (Lazy.force scratch_root)
+      (Printf.sprintf "crash%d_%s" round
+         (String.map (function '.' -> '_' | c -> c) site))
+  in
+  Unix.mkdir dir 0o700;
+  dir
+
+(* Sites on the Segdb facade path: WAL + snapshot + query. The round
+   cycles inserts, deletes, queries and checkpoints so every one of
+   these sites is exercised within a few iterations. *)
+let run_crash_db_round ~seed ~ops ~size ~site round =
+  let seed = seed + (round * 524287) + (Hashtbl.hash site mod 65536) in
+  let rng = Rng.create seed in
+  let backend = Rng.pick rng [| `Naive; `Rtree; `Solution1; `Solution2; `Solution2_nofc |] in
+  let pool_segs = W.roads (Rng.split rng) ~n:(2 * size) ~span:200.0 in
+  let n0 = Array.length pool_segs / 2 in
+  let initial = Array.sub pool_segs 0 n0 in
+  let spare = ref (Array.to_list (Array.sub pool_segs n0 (Array.length pool_segs - n0))) in
+  let dir = site_dir site round in
+  let snap = Filename.concat dir "db.snap" and wal = Filename.concat dir "db.wal" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (crash round %d, site %s, seed %d): %s\n" round site
+          seed msg;
+        exit 1)
+      fmt
+  in
+  let model = Model.create () in
+  Array.iter (Model.insert model) initial;
+  let db = Db.create ~backend ~block:(8 lsl Rng.int rng 3) initial in
+  Db.save db snap;
+  ignore (Db.attach_wal ~sync:true db wal);
+  let live = ref (Array.to_list initial) in
+  (* torn writes are a meaningful crash shape only at write sites *)
+  let action =
+    if (site = "wal.append" || site = "snapshot.write") && Rng.bool rng then
+      Failpoint.Torn
+    else Failpoint.Crash
+  in
+  Failpoint.arm ~seed [ (site, Failpoint.plan ~at:(1 + Rng.int rng 4) action) ];
+  let inflight = ref None in
+  let crashed = ref false in
+  (try
+     let op = ref 0 in
+     while (not !crashed) && !op < ops do
+       incr op;
+       match !op mod 5 with
+       | 1 | 2 -> (
+           match !spare with
+           | s :: rest ->
+               spare := rest;
+               inflight := Some (`Ins s);
+               Db.insert db s;
+               inflight := None;
+               live := s :: !live;
+               Model.insert model s
+           | [] -> ())
+       | 3 -> (
+           match !live with
+           | [] -> ()
+           | l ->
+               let s = List.nth l (Rng.int rng (List.length l)) in
+               inflight := Some (`Del s);
+               ignore (Db.delete db s);
+               inflight := None;
+               live := List.filter (fun (c : Segment.t) -> c.id <> s.Segment.id) l;
+               Model.delete model s)
+       | 4 ->
+           inflight := None;
+           Db.checkpoint db snap
+       | _ ->
+           let x = Rng.float rng 220.0 -. 10.0 in
+           let y = Rng.float rng 200.0 in
+           ignore (Db.query_ids db (Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0)))
+     done
+   with Failpoint.Injected_crash _ -> crashed := true);
+  Failpoint.disarm ();
+  if not !crashed then fail "site never fired in %d operations" ops;
+  (* the process is "dead": drop the handles without any clean-up write *)
+  (try Db.detach_wal db with _ -> ());
+  (* recovery: snapshot + WAL replay *)
+  let use_image = Rng.bool rng in
+  let db2, _ = Db.open_db_mode ~use_image snap in
+  ignore (Db.attach_wal ~sync:false db2 wal);
+  let got =
+    Db.segments db2 |> Array.to_list |> List.map (fun (s : Segment.t) -> s.Segment.id)
+  in
+  let base = ids_of_model model in
+  if got = base then ()
+  else begin
+    (* the recovered state may include exactly the in-flight operation:
+       logged-then-cut is as legitimate as cut-before-log *)
+    match !inflight with
+    | Some (`Ins s) when got = List.sort compare (s.Segment.id :: base) ->
+        Model.insert model s
+    | Some (`Del s) when got = List.filter (fun id -> id <> s.Segment.id) base ->
+        Model.delete model s
+    | _ ->
+        fail "recovered id set (%d ids) matches neither the model (%d) nor model ± \
+              in-flight op"
+          (List.length got) (List.length base)
+  end;
+  for _ = 1 to 30 do
+    let x = Rng.float rng 220.0 -. 10.0 in
+    let y = Rng.float rng 200.0 in
+    let q = Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0) in
+    let after = List.sort compare (Db.query_ids db2 q) in
+    if after <> Model.query model q then
+      fail "recovered db diverged from model on %s" (Format.asprintf "%a" Vquery.pp q)
+  done;
+  (match Db.validate ~queries:5 db2 with
+  | [] -> ()
+  | f :: _ -> fail "recovered db fails validation: %s" f);
+  (* checkpointing the recovered state must produce a clean snapshot *)
+  let snap2 = Filename.concat dir "recovered.snap" in
+  Db.checkpoint db2 snap2;
+  (match Snapshot.salvage ~path:snap2 with
+  | [], Some _ -> ()
+  | fs, _ -> fail "checkpointed recovery has findings: %s" (String.concat "; " fs));
+  Db.detach_wal db2;
+  remove_tree dir
+
+(* Sites on the raw syscall path: a [File_store] workload with a tiny
+   cache (so reads miss and writes evict). The contract after a crash
+   cut: reopening either detects damage ([Corrupt_store]) or yields a
+   store where every block untouched since the last sync reads back
+   intact — and a reopened store, once synced, scrubs clean. *)
+
+module FS = File_store.Make (struct
+  type t = int array
+
+  let codec = Codec.(array int)
+end)
+
+let run_crash_store_round ~seed ~ops ~site round =
+  let seed = seed + (round * 786433) + (Hashtbl.hash site mod 65536) in
+  let rng = Rng.create seed in
+  let dir = site_dir site round in
+  let path = Filename.concat dir "store.fst" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (crash round %d, site %s, seed %d): %s\n" round site
+          seed msg;
+        exit 1)
+      fmt
+  in
+  let fs = FS.create ~page_size:256 ~cache_blocks:8 ~stats:(Io_stats.create ()) ~path () in
+  let model : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let durable : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  let touched : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let payload () = Array.init (1 + Rng.int rng 120) (fun _ -> Rng.int rng 1_000_000) in
+  let random_addr () =
+    match Hashtbl.fold (fun a _ acc -> a :: acc) model [] with
+    | [] -> None
+    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let snapshot_durable () =
+    Hashtbl.reset touched;
+    Hashtbl.reset durable;
+    Hashtbl.iter (fun a p -> Hashtbl.replace durable a (Array.copy p)) model
+  in
+  let do_op () =
+    match Rng.int rng 10 with
+    | 0 | 1 ->
+        let p = payload () in
+        let a = FS.alloc fs p in
+        Hashtbl.replace touched a ();
+        Hashtbl.replace model a p
+    | 2 | 3 -> (
+        match random_addr () with
+        | Some a ->
+            let p = payload () in
+            Hashtbl.replace touched a ();
+            FS.write fs a p;
+            Hashtbl.replace model a p
+        | None -> ())
+    | 4 -> (
+        match random_addr () with
+        | Some a when Hashtbl.length model > 4 ->
+            Hashtbl.replace touched a ();
+            FS.free fs a;
+            Hashtbl.remove model a
+        | _ -> ())
+    | 5 ->
+        FS.sync fs;
+        snapshot_durable ()
+    | _ -> (
+        match random_addr () with
+        | Some a ->
+            let v = FS.read fs a in
+            if v <> Hashtbl.find model a then fail "live read of block %d diverged" a
+        | None -> ())
+  in
+  for _ = 1 to 20 do
+    let p = payload () in
+    let a = FS.alloc fs p in
+    Hashtbl.replace model a p
+  done;
+  FS.sync fs;
+  snapshot_durable ();
+  Failpoint.arm ~seed [ (site, Failpoint.plan ~at:(1 + Rng.int rng 5) Failpoint.Crash) ];
+  let crashed = ref false in
+  (try
+     let i = ref 0 in
+     while (not !crashed) && !i < ops do
+       incr i;
+       do_op ()
+     done;
+     (* the random mix may not have drawn the armed operation enough
+        times to reach its trigger hit: drive the site directly *)
+     let j = ref 0 in
+     while (not !crashed) && !j < 64 do
+       incr j;
+       match site with
+       | "store.sync" ->
+           FS.sync fs;
+           snapshot_durable ()
+       | "pwrite" ->
+           let p = payload () in
+           let a = FS.alloc fs p in
+           Hashtbl.replace touched a ();
+           Hashtbl.replace model a p;
+           FS.sync fs;
+           snapshot_durable ()
+       | _ -> (
+           match random_addr () with
+           | Some a -> ignore (FS.read fs a)
+           | None -> ())
+     done
+   with Failpoint.Injected_crash _ -> crashed := true);
+  Failpoint.disarm ();
+  if not !crashed then fail "site never fired in %d operations" ops;
+  FS.crash fs;
+  (* a scrub of the crash-cut image must diagnose, never raise *)
+  ignore (File_store.Scrub.file path);
+  (match FS.open_existing ~stats:(Io_stats.create ()) ~path () with
+  | exception File_store.Corrupt_store _ -> () (* detected damage: acceptable *)
+  | fs2 ->
+      Hashtbl.iter
+        (fun a p ->
+          if not (Hashtbl.mem touched a) then
+            match FS.read fs2 a with
+            | v -> if v <> p then fail "untouched block %d changed across the crash" a
+            | exception File_store.Corrupt_store m ->
+                fail "untouched block %d unreadable after recovery: %s" a m)
+        durable;
+      FS.close fs2;
+      (match File_store.Scrub.file path with
+      | [] -> ()
+      | f :: _ -> fail "recovered store does not scrub clean: %s" f));
+  remove_tree dir
+
+let store_sites = [ "pread"; "pwrite"; "store.sync" ]
+
+let run_crash_matrix ~rounds ~ops ~seed ~size =
+  let sites = Failpoint.registered () in
+  if sites = [] then begin
+    Printf.eprintf "fuzz --crash: no fault sites registered\n";
+    exit 1
+  end;
+  for round = 1 to rounds do
+    List.iter
+      (fun site ->
+        if List.mem site store_sites then run_crash_store_round ~seed ~ops ~site round
+        else run_crash_db_round ~seed ~ops ~size ~site round)
+      sites;
+    if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
+  done;
+  Printf.printf
+    "fuzz: crash matrix: %d sites x %d rounds (%s); every recovery matched the model \
+     and scrubbed clean\n"
+    (List.length sites) rounds (String.concat ", " sites)
+
+let fuzz rounds ops seed size persist parallel crash domains =
+  if crash then begin
+    run_crash_matrix ~rounds ~ops ~seed ~size;
+    0
+  end
+  else begin
   for round = 1 to rounds do
     if parallel then run_parallel_round ~seed ~ops ~size ~domains round
     else if persist then run_persist_round ~seed ~ops ~size round
@@ -342,6 +647,7 @@ let fuzz rounds ops seed size persist parallel domains =
   else
     Printf.printf "fuzz: %d rounds x %d ops, all backends agree with the model\n" rounds ops;
   0
+  end
 
 let rounds_t = Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds.")
 let ops_t = Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc:"Operations per round.")
@@ -366,6 +672,17 @@ let parallel_t =
            $(b,Segdb.parallel_query) and the answers must match the serial ones exactly, \
            both on fresh builds and after mutation.")
 
+let crash_t =
+  Arg.(
+    value & flag
+    & info [ "crash" ]
+        ~doc:
+          "Crash matrix: for every registered fault site, arm a hard crash cut, run a \
+           workload until it fires, abandon the in-memory state, recover from disk and \
+           cross-check against the model (the single in-flight operation may be present \
+           or absent; anything else fails). Recovered state must validate and scrub \
+           clean.")
+
 let domains_t =
   Arg.(
     value & opt int 4
@@ -375,6 +692,9 @@ let cmd =
   let doc = "model-based stress test across all index backends" in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t $ parallel_t $ domains_t)
+      const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t $ parallel_t $ crash_t
+      $ domains_t)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Failpoint.arm_from_env ();
+  exit (Cmd.eval' cmd)

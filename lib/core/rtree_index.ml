@@ -14,3 +14,4 @@ let query_r r t q ~f = Segdb_io.Read_context.with_reader r (fun () -> R.query t 
 let iter_all t ~f = R.iter t f
 let size = R.size
 let block_count = R.block_count
+let check_invariants = R.check_invariants

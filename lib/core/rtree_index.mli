@@ -1,3 +1,7 @@
 (** The R-tree baseline behind the common index interface. *)
 
 include Vs_index.S
+
+val check_invariants : t -> bool
+(** Structural soundness of the underlying tree (see
+    {!Segdb_rtree.Rtree.check_invariants}). *)

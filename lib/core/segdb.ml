@@ -3,7 +3,13 @@ open Segdb_geom
 
 type backend = [ `Naive | `Rtree | `Solution1 | `Solution2 | `Solution2_nofc ]
 
-type pack = Pack : (module Vs_index.S with type t = 'a) * 'a -> pack
+(* The third field is the backend's invariant checker over the packed
+   value — carried inside the pack (rather than rebuilt from the
+   backend tag) so it survives the marshaled-image fast path: closures
+   marshal, and the executable-digest guard already ties images to the
+   writing binary. *)
+type pack =
+  | Pack : (module Vs_index.S with type t = 'a) * 'a * (unit -> bool) -> pack
 
 type t = {
   cfg : Vs_index.config;
@@ -14,10 +20,18 @@ type t = {
 
 let build_pack (cfg : Vs_index.config) backend segs =
   match backend with
-  | `Naive -> Pack ((module Naive), Naive.build cfg segs)
-  | `Rtree -> Pack ((module Rtree_index), Rtree_index.build cfg segs)
-  | `Solution1 -> Pack ((module Solution1), Solution1.build cfg segs)
-  | `Solution2 | `Solution2_nofc -> Pack ((module Solution2), Solution2.build cfg segs)
+  | `Naive ->
+      let v = Naive.build cfg segs in
+      Pack ((module Naive), v, fun () -> true)
+  | `Rtree ->
+      let v = Rtree_index.build cfg segs in
+      Pack ((module Rtree_index), v, fun () -> Rtree_index.check_invariants v)
+  | `Solution1 ->
+      let v = Solution1.build cfg segs in
+      Pack ((module Solution1), v, fun () -> Solution1.check_invariants v)
+  | `Solution2 | `Solution2_nofc ->
+      let v = Solution2.build cfg segs in
+      Pack ((module Solution2), v, fun () -> Solution2.check_invariants v)
 
 let create ?(backend = `Solution2) ?(block = 64) ?(pool_blocks = 64) segs =
   let cascade = backend <> `Solution2_nofc in
@@ -66,11 +80,11 @@ let log_op t op =
   match t.wal with None -> () | Some w -> Wal.append w (Codec.encode op_codec op)
 
 let apply_insert t s =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   M.insert v s
 
 let apply_delete t s =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   M.delete v s
 
 (* Replay is idempotent where the index is not: a record whose effect is
@@ -96,11 +110,24 @@ let delete t s =
 (* forward declaration lives below; the root span needs the resolved
    backend name, which depends on [t.cfg] *)
 let backend_name t =
-  let (Pack ((module M), _)) = t.pack in
+  let (Pack ((module M), _, _)) = t.pack in
   if M.name = "solution2" && not t.cfg.Vs_index.cascade then "solution2-nofc" else M.name
 
+(* The query path's own fault site: index blocks live in memory, so
+   queries have no syscalls of their own to inject into — this gives
+   the degraded-result machinery a first-class fault source. One
+   [Atomic.get] per query while disarmed. *)
+let sp_query = Failpoint.site "segdb.query"
+
+let fire_query () =
+  match Failpoint.fire sp_query with
+  | None -> ()
+  | Some Failpoint.Crash -> raise (Failpoint.Injected_crash "segdb.query")
+  | Some _ -> raise (Unix.Unix_error (Unix.EIO, "segdb.query", "injected"))
+
 let query_iter t q ~f =
-  let (Pack ((module M), v)) = t.pack in
+  fire_query ();
+  let (Pack ((module M), v, _)) = t.pack in
   if Segdb_obs.Control.enabled () then
     Probe.span t.cfg.stats ("query." ^ backend_name t) (fun () -> M.query v q ~f)
   else M.query v q ~f
@@ -110,8 +137,38 @@ let query t q =
   query_iter t q ~f:(fun s -> acc := s :: !acc);
   List.rev !acc
 
+(* ---------------- degraded results ---------------- *)
+
+module Degraded = struct
+  type 'a t = { value : 'a; complete : bool; faults : string list }
+
+  let ok value = { value; complete = true; faults = [] }
+  let partial value faults = { value; complete = false; faults }
+
+  let pp pp_v ppf t =
+    if t.complete then Format.fprintf ppf "@[<h>%a@]" pp_v t.value
+    else
+      Format.fprintf ppf "@[<v>%a@,degraded: %a@]" pp_v t.value
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+        t.faults
+end
+
+let query_safe t q =
+  let acc = ref [] in
+  let finish () = List.rev !acc in
+  try
+    query_iter t q ~f:(fun s -> acc := s :: !acc);
+    Degraded.ok (finish ())
+  with
+  | File_store.Corrupt_store m -> Degraded.partial (finish ()) [ m ]
+  | Codec.Corrupt m -> Degraded.partial (finish ()) [ "undecodable block: " ^ m ]
+  | Unix.Unix_error (e, op, _) ->
+      Degraded.partial (finish ())
+        [ Printf.sprintf "%s: %s" op (Unix.error_message e) ]
+
 let query_ids t q =
-  let (Pack ((module M), v)) = t.pack in
+  fire_query ();
+  let (Pack ((module M), v, _)) = t.pack in
   Vs_index.query_ids (module M) v q
 
 let count t q =
@@ -120,7 +177,7 @@ let count t q =
   !n
 
 let iter_all t ~f =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   M.iter_all v ~f
 
 (* ---------------- parallel read path ---------------- *)
@@ -134,11 +191,11 @@ let reader_io = Vs_index.reader_io
 let with_reader = Vs_index.with_reader
 
 let query_ids_r t r q =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   Vs_index.query_ids_r (module M) r v q
 
 let query_iter_r t r q ~f =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   M.query_r r v q ~f
 
 let count_r t r q =
@@ -255,11 +312,11 @@ let segments t =
   arr
 
 let size t =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   M.size v
 
 let block_count t =
-  let (Pack ((module M), v)) = t.pack in
+  let (Pack ((module M), v, _)) = t.pack in
   M.block_count v
 
 let io t = t.cfg.stats
@@ -351,6 +408,29 @@ let attach_wal ?(sync = true) t path =
   t.wal <- Some w;
   List.length records
 
+(* Non-mutating WAL inspection/replay, for [recover --dry-run] and
+   [repair]: unlike {!attach_wal} this never truncates the log or
+   attaches it. *)
+let scan_wal path =
+  let skipped = ref 0 in
+  let ops =
+    List.filter_map
+      (fun payload ->
+        match Codec.decode op_codec payload with
+        | op -> Some op
+        | exception Codec.Corrupt _ ->
+            incr skipped;
+            None)
+      (Wal.scan path)
+  in
+  (ops, !skipped)
+
+let apply_wal_ops t ops = List.iter (apply_op t) ops
+
+let pp_op ppf = function
+  | Op_insert s -> Format.fprintf ppf "insert %a" Segment.pp s
+  | Op_delete s -> Format.fprintf ppf "delete %a" Segment.pp s
+
 let wal_path t = Option.map Wal.path t.wal
 
 let detach_wal t =
@@ -363,6 +443,60 @@ let detach_wal t =
 let checkpoint ?image t path =
   save ?image t path;
   match t.wal with None -> () | Some w -> Wal.reset w
+
+(* ---------------- integrity validation ---------------- *)
+
+(* Deep check of a live database, reported rather than raised (scrub
+   semantics): id uniqueness, the NCT precondition over the stored set
+   (plane sweep), the backend's own structural invariants (PST
+   heap/x-order, interval-tree containment, cascade d-property, …)
+   via the pack's checker, and — when [queries > 0] — that many random
+   vertical-segment queries cross-checked against a freshly built
+   naive index over the same segments. *)
+let validate ?(queries = 0) ?(seed = 0) t =
+  let findings = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> findings := m :: !findings) fmt in
+  let segs = segments t in
+  let ids = Hashtbl.create (Array.length segs) in
+  Array.iter
+    (fun (s : Segment.t) ->
+      if Hashtbl.mem ids s.id then note "duplicate segment id %d" s.id
+      else Hashtbl.add ids s.id ())
+    segs;
+  let (Pack ((module M), v, check)) = t.pack in
+  if M.size v <> Array.length segs then
+    note "%s: size reports %d but iteration yields %d segments" (backend_name t)
+      (M.size v) (Array.length segs);
+  if not (Sweep.verify_nct segs) then
+    note "stored segments violate NCT (a crossing pair exists)";
+  (try if not (check ()) then note "%s: structural invariants violated" (backend_name t)
+   with e ->
+     note "%s: invariant check raised %s" (backend_name t) (Printexc.to_string e));
+  if queries > 0 && Array.length segs > 0 then begin
+    let rng = Segdb_util.Rng.create seed in
+    let minx = ref infinity and maxx = ref neg_infinity in
+    let miny = ref infinity and maxy = ref neg_infinity in
+    Array.iter
+      (fun s ->
+        minx := Float.min !minx (Segment.min_x s);
+        maxx := Float.max !maxx (Segment.max_x s);
+        miny := Float.min !miny (Segment.min_y s);
+        maxy := Float.max !maxy (Segment.max_y s))
+      segs;
+    let span lo hi = lo +. Segdb_util.Rng.float rng (Float.max (hi -. lo) 1e-9) in
+    let reference = create ~backend:`Naive ~block:t.cfg.block segs in
+    for i = 1 to queries do
+      let x = span !minx !maxx in
+      let a = span !miny !maxy and b = span !miny !maxy in
+      let q = Vquery.segment ~x ~ylo:(Float.min a b) ~yhi:(Float.max a b) in
+      let got = query_ids t q and want = query_ids reference q in
+      if got <> want then
+        note "query %d/%d (%s): %d ids, naive finds %d" i queries
+          (Format.asprintf "%a" Vquery.pp q)
+          (List.length got) (List.length want)
+    done
+  end;
+  List.rev !findings
 
 module Sloped = struct
   type nonrec t = {

@@ -59,6 +59,32 @@ val query_iter : t -> Vquery.t -> f:(Segment.t -> unit) -> unit
 val query_ids : t -> Vquery.t -> int list
 val count : t -> Vquery.t -> int
 
+(** {1 Degraded results}
+
+    A result that may be partial: what was collected before a fault,
+    an explicit completeness flag, and the faults hit. The typed
+    channel lets a caller serve what survives a quarantined page or a
+    failing device instead of turning one bad block into a failed
+    request. *)
+module Degraded : sig
+  type 'a t = {
+    value : 'a;  (** everything collected before the first fault *)
+    complete : bool;  (** [true] iff [faults = []]: the answer is exact *)
+    faults : string list;
+  }
+
+  val ok : 'a -> 'a t
+  val partial : 'a -> string list -> 'a t
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+end
+
+val query_safe : t -> Vquery.t -> Segment.t list Degraded.t
+(** {!query}, catching storage faults ([File_store.Corrupt_store],
+    undecodable blocks, [Unix] errors that survived the retry policy)
+    into a {!Degraded.t} instead of raising. Injected crashes
+    ([Failpoint.Injected_crash]) still propagate — they model process
+    death, not a servable fault. *)
+
 val size : t -> int
 val block_count : t -> int
 
@@ -181,12 +207,37 @@ val attach_wal : ?sync:bool -> t -> string -> int
     log so subsequent [insert]/[delete] are logged. Returns the number
     of records replayed. [sync] (default true) fsyncs every append. *)
 
+type op = Op_insert of Segment.t | Op_delete of Segment.t
+(** A WAL record, decoded. *)
+
+val scan_wal : string -> op list * int
+(** The decoded operations in the log's valid prefix, plus how many
+    intact-but-undecodable records were skipped — without opening the
+    log for append, truncating its tail, or touching any index. Backs
+    [recover --dry-run] and [repair]. *)
+
+val apply_wal_ops : t -> op list -> unit
+(** Replays decoded operations into the index, idempotently (an
+    already-present insert or already-absent delete is a no-op), and
+    without logging them anywhere. *)
+
+val pp_op : Format.formatter -> op -> unit
+
 val wal_path : t -> string option
 val detach_wal : t -> unit
 
 val checkpoint : ?image:bool -> t -> string -> unit
 (** {!save}, then truncate the attached WAL (if any): the snapshot now
     carries everything the log did. *)
+
+val validate : ?queries:int -> ?seed:int -> t -> string list
+(** Deep integrity check, findings reported rather than raised: id
+    uniqueness, the NCT precondition (plane sweep over the stored
+    set), the backend's structural invariants (PST heap and x-order,
+    interval-tree containment, the cascade's d-property — whatever the
+    backend defines), and, when [queries > 0], that many seeded random
+    queries cross-checked against a freshly built naive index. [[]]
+    means the database is sound. *)
 
 (** {1 Fixed-slope query families}
 

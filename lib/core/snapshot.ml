@@ -6,6 +6,7 @@ let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt_snapshot m)) fmt
 
 let magic = "SEGDBSNP"
 let version = 1
+let sp_write = Failpoint.site "snapshot.write"
 let tag_segments = 1
 let tag_image = 2
 
@@ -78,15 +79,10 @@ let write ~path header ~segments ~image =
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> Unix.close fd)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      let bytes = Buffer.to_bytes b in
-      let len = Bytes.length bytes in
-      let put = ref 0 in
-      while !put < len do
-        put := !put + Unix.write fd bytes !put (len - !put)
-      done;
-      Unix.fsync fd);
+      Failpoint.Io.write_all ~site:sp_write fd ~off:0 (Buffer.to_bytes b);
+      Failpoint.Io.fsync fd);
   Sys.rename tmp path
 
 let read ~path =
@@ -129,3 +125,78 @@ let read ~path =
         (Array.length segments);
     { header; segments; image = !image }
   with Codec.Corrupt m -> corrupt "%s: malformed snapshot: %s" path m
+
+(* Lenient variant of {!read} for repair: collects findings instead of
+   raising, drops damaged sections instead of rejecting the file, and
+   returns whatever survives. A corrupt image section costs only the
+   rebuild fast path; corrupt segments cost the contents. *)
+let salvage ~path =
+  let findings = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> findings := m :: !findings) fmt in
+  let contents =
+    try
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let r = Codec.R.of_string data in
+      if (try Codec.R.raw r 8 <> magic with Codec.Corrupt _ -> true) then begin
+        note "not a segdb snapshot (bad magic)";
+        None
+      end
+      else begin
+        let header =
+          try
+            let ver = Codec.R.u32 r in
+            if ver <> version then note "unsupported snapshot version %d" ver;
+            let hlen = Codec.R.u32 r in
+            let hp = Codec.R.raw r hlen in
+            let hcrc = Codec.R.u32 r in
+            if Crc.string hp <> hcrc then begin
+              note "header CRC mismatch";
+              None
+            end
+            else Some (Codec.decode header_codec hp)
+          with Codec.Corrupt m ->
+            note "malformed header: %s" m;
+            None
+        in
+        match header with
+        | None -> None
+        | Some header -> (
+            let segments = ref None and image = ref None in
+            (try
+               while Codec.R.remaining r > 0 do
+                 let tag = Codec.R.u8 r in
+                 let len = Codec.R.u64 r in
+                 let crc = Codec.R.u32 r in
+                 let payload = Codec.R.raw r len in
+                 if Crc.string payload <> crc then
+                   note "section %d: CRC mismatch (dropped)" tag
+                 else if tag = tag_segments then segments := Some payload
+                 else if tag = tag_image then image := Some payload
+               done
+             with Codec.Corrupt m -> note "truncated section table: %s" m);
+            match !segments with
+            | None ->
+                note "no intact segments section";
+                None
+            | Some payload -> (
+                match Codec.decode Seg_file.array_codec payload with
+                | exception Codec.Corrupt m ->
+                    note "segments section does not decode: %s" m;
+                    None
+                | segments ->
+                    if Array.length segments <> header.count then
+                      note "header says %d segments, section holds %d (using the \
+                            section)"
+                        header.count (Array.length segments);
+                    Some { header; segments; image = !image }))
+      end
+    with Sys_error m ->
+      note "unreadable: %s" m;
+      None
+  in
+  (List.rev !findings, contents)

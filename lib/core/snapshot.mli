@@ -53,3 +53,10 @@ val write :
 val read : path:string -> contents
 (** Raises {!Corrupt_snapshot} on damage; every section is CRC-checked
     before use. *)
+
+val salvage : path:string -> string list * contents option
+(** Best-effort read for repair: returns findings (empty means the file
+    is pristine) plus whatever survives. A damaged image section is
+    dropped — costing only the rebuild fast path — and a segment-count
+    mismatch trusts the section; only a destroyed segments section (or
+    header) loses the contents. Never raises on damage. *)

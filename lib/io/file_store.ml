@@ -3,34 +3,143 @@ exception Corrupt_store of string
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt_store m)) fmt
 
 let magic = "SEGFST01"
-let version = 1
-let header_bytes = 9 (* kind u8 | next u32 | len u32 *)
+
+(* Version 2 added the per-page payload CRC to the header. Version 1
+   images carry no page checksums, so reading them with this build
+   would defeat the corruption guarantees — they are rejected with a
+   migration message instead of silently trusted. *)
+let version = 2
+let header_bytes = 13 (* kind u8 | next u32 | len u32 | crc u32 *)
+let crc_prefix = 9 (* the header bytes the page CRC covers *)
 let kind_free = 0
 let kind_head = 1
 let kind_cont = 2
 
-(* ---------------- raw file I/O ---------------- *)
+(* ---------------- raw file I/O ----------------
 
-let pread fd ~off buf =
-  ignore (Unix.lseek fd off Unix.SEEK_SET);
-  let len = Bytes.length buf in
-  let got = ref 0 in
-  (try
-     while !got < len do
-       let n = Unix.read fd buf !got (len - !got) in
-       if n = 0 then raise Exit;
-       got := !got + n
-     done
-   with Exit -> ());
-  !got
+   All syscalls go through {!Failpoint.Io}: transient EINTR/EAGAIN/EIO
+   are retried with backoff (counted as [io.retries]), persistent
+   short writes error out, and every call is a registered fault
+   site. *)
 
-let pwrite fd ~off buf =
-  ignore (Unix.lseek fd off Unix.SEEK_SET);
-  let len = Bytes.length buf in
-  let put = ref 0 in
-  while !put < len do
-    put := !put + Unix.write fd buf !put (len - !put)
-  done
+let pread = Failpoint.Io.pread
+let pwrite = Failpoint.Io.pwrite
+let sp_sync = Failpoint.site "store.sync"
+
+(* magic 8 | version u32 | page_size u32 | next_page u32 | root u32 | crc u32 *)
+let superblock_len = 8 + (4 * 4) + 4
+
+(* ---------------- offline scrub ----------------
+
+   The page format is payload-agnostic, so a store file can be checked
+   without knowing its codec: superblock magic/version/CRC, every
+   page's header sanity and payload CRC, chain reachability (no
+   escapes, no double claims, heads chain through continuations), and
+   the root's liveness. Findings are reported, never raised — a scrub
+   is diagnosis, not failure. *)
+
+module Scrub = struct
+  let file path =
+    let findings = ref [] in
+    let note fmt = Printf.ksprintf (fun m -> findings := m :: !findings) fmt in
+    (try
+       let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+         (fun () ->
+           let sb = Bytes.create superblock_len in
+           if pread fd ~off:0 sb < superblock_len then
+             note "superblock: file too short"
+           else begin
+             let s = Bytes.to_string sb in
+             let sane = ref true in
+             let bad fmt = Printf.ksprintf (fun m -> sane := false; note "%s" m) fmt in
+             if String.sub s 0 8 <> magic then bad "superblock: bad magic";
+             let r = Codec.R.of_string ~pos:8 s in
+             let ver = Codec.R.u32 r in
+             if !sane && ver <> version then
+               bad "superblock: version %d (this build reads %d)" ver version;
+             let page_size = Codec.R.u32 r in
+             let next_page = Codec.R.u32 r in
+             let root = Codec.R.u32 r in
+             let crc = Codec.R.u32 r in
+             if !sane && Crc.string (String.sub s 0 (superblock_len - 4)) <> crc then
+               bad "superblock: CRC mismatch";
+             if !sane && page_size < 64 then
+               bad "superblock: implausible page size %d" page_size;
+             if !sane then begin
+               (* one pass over the headers, CRC-checking every page *)
+               let headers = Array.make next_page None in
+               for p = 1 to next_page - 1 do
+                 let page = Bytes.create page_size in
+                 let got = pread fd ~off:(p * page_size) page in
+                 if got < header_bytes then note "page %d: short read (%d bytes)" p got
+                 else begin
+                   let s = Bytes.to_string page in
+                   let r = Codec.R.of_string s in
+                   let kind = Codec.R.u8 r in
+                   let next = Codec.R.u32 r in
+                   let len = Codec.R.u32 r in
+                   let crc = Codec.R.u32 r in
+                   if kind > kind_cont then note "page %d: unknown kind %d" p kind
+                   else if len > page_size - header_bytes then
+                     note "page %d: payload overflows the page" p
+                   else if got < header_bytes + len then
+                     note "page %d: short read (%d bytes)" p got
+                   else if
+                     Crc.string (String.sub s 0 crc_prefix ^ String.sub s header_bytes len)
+                     <> crc
+                   then note "page %d: CRC mismatch" p
+                   else headers.(p) <- Some (kind, next)
+                 end
+               done;
+               (* chain walk: claimed pages vs the free/continuation pool *)
+               let claimed = Array.make next_page false in
+               for p = 1 to next_page - 1 do
+                 match headers.(p) with
+                 | Some (kind, next) when kind = kind_head ->
+                     claimed.(p) <- true;
+                     let q = ref next in
+                     let stop = ref false in
+                     while !q <> 0 && not !stop do
+                       if !q <= 0 || !q >= next_page then begin
+                         note "chain from page %d escapes the file at %d" p !q;
+                         stop := true
+                       end
+                       else if claimed.(!q) then begin
+                         note "page %d claimed by two extents" !q;
+                         stop := true
+                       end
+                       else begin
+                         claimed.(!q) <- true;
+                         match headers.(!q) with
+                         | Some (kind, next) when kind = kind_cont -> q := next
+                         | Some (kind, _) ->
+                             note "chain from page %d reaches page %d of kind %d" p !q
+                               kind;
+                             stop := true
+                         | None ->
+                             note "chain from page %d reaches damaged page %d" p !q;
+                             stop := true
+                       end
+                     done
+                 | _ -> ()
+               done;
+               if
+                 root <> Block_store.null
+                 && (root < 1 || root >= next_page
+                    ||
+                    match headers.(root) with
+                    | Some (kind, _) -> kind <> kind_head
+                    | None -> true)
+               then note "root %d is not a live block" root
+             end
+           end)
+     with
+    | Failpoint.Injected_crash _ as e -> raise e
+    | e -> note "scrub failed: %s" (Printexc.to_string e));
+    List.rev !findings
+end
 
 module Make (P : sig
   type t
@@ -40,6 +149,7 @@ end) =
 struct
   let c_page_read = Probe.counter "file_store.page_read"
   let c_page_write = Probe.counter "file_store.page_write"
+  let c_corrupt = Probe.counter "io.corrupt_pages"
 
   type frame = { mutable payload : P.t; mutable dirty : bool }
 
@@ -63,9 +173,6 @@ struct
 
   (* ---------------- superblock ---------------- *)
 
-  (* magic 8 | version u32 | page_size u32 | next_page u32 | root u32 | crc u32 *)
-  let superblock_len = 8 + (4 * 4) + 4
-
   let write_superblock t =
     let b = Buffer.create superblock_len in
     Buffer.add_string b magic;
@@ -86,7 +193,11 @@ struct
     if String.sub s 0 8 <> magic then corrupt "%s: bad magic" path;
     let r = Codec.R.of_string ~pos:8 s in
     let ver = Codec.R.u32 r in
-    if ver <> version then corrupt "%s: unsupported version %d" path ver;
+    if ver <> version then
+      corrupt
+        "%s: store format version %d unsupported (this build reads version %d; \
+         re-create the file with `save` from a live database to migrate)"
+        path ver version;
     let page_size = Codec.R.u32 r in
     let next_page = Codec.R.u32 r in
     let root = Codec.R.u32 r in
@@ -114,6 +225,9 @@ struct
     Codec.W.u8 b kind;
     Codec.W.u32 b next;
     Codec.W.u32 b (String.length chunk);
+    (* The page CRC covers the header-so-far plus the payload, so a
+       flipped kind/next/len byte is caught, not just payload damage. *)
+    Codec.W.u32 b (Crc.string (Buffer.contents b ^ chunk));
     Bytes.blit_string (Buffer.contents b) 0 page 0 header_bytes;
     Bytes.blit_string chunk 0 page header_bytes (String.length chunk);
     pwrite t.fd ~off:(p * t.page_size) page
@@ -282,17 +396,27 @@ struct
     Probe.span t.io "file.fetch" @@ fun () ->
     let pages = try Hashtbl.find t.extents a with Not_found -> fail_unknown t a in
     let buf = Buffer.create (List.length pages * payload_capacity t) in
+    let corrupt_page p msg =
+      Probe.bump c_corrupt;
+      corrupt "%s: page %d %s" t.path p msg
+    in
     List.iter
       (fun p ->
         let page = Bytes.create t.page_size in
-        if pread t.fd ~off:(p * t.page_size) page < header_bytes then
-          corrupt "%s: short read on page %d" t.path p;
+        let got = pread t.fd ~off:(p * t.page_size) page in
+        if got < header_bytes then
+          corrupt_page p (Printf.sprintf "short read (%d bytes)" got);
         let s = Bytes.to_string page in
         let r = Codec.R.of_string s in
         let _kind = Codec.R.u8 r in
         let _next = Codec.R.u32 r in
         let len = Codec.R.u32 r in
-        if len > payload_capacity t then corrupt "%s: page %d payload overflows" t.path p;
+        let crc = Codec.R.u32 r in
+        if len > payload_capacity t then corrupt_page p "payload overflows";
+        if got < header_bytes + len then
+          corrupt_page p (Printf.sprintf "short read (%d bytes)" got);
+        if Crc.string (String.sub s 0 crc_prefix ^ String.sub s header_bytes len) <> crc
+        then corrupt_page p "CRC mismatch";
         Buffer.add_substring buf s header_bytes len;
         Io_stats.record_read io;
         Probe.bump c_page_read)
@@ -373,7 +497,7 @@ struct
       t.tombstones;
     t.tombstones <- [];
     write_superblock t;
-    Unix.fsync t.fd
+    Failpoint.Io.fsync ~site:sp_sync t.fd
 
   let close t =
     if not t.closed then begin
@@ -397,4 +521,18 @@ struct
     Hashtbl.fold (fun a _ acc -> a :: acc) t.extents [] |> List.sort compare
 
   let page_count t = t.next_page
+
+  let verify t =
+    check_open t;
+    sync t;
+    Scrub.file t.path
+
+  (* Simulates the process dying while this handle is live: the fd is
+     closed with nothing flushed, so the on-disk image is whatever the
+     last {!sync} (plus any evictions) left behind. *)
+  let crash t =
+    if not t.closed then begin
+      t.closed <- true;
+      try Unix.close t.fd with Unix.Unix_error _ -> ()
+    end
 end

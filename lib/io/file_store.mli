@@ -3,8 +3,13 @@
 
     The store divides the file into fixed-size pages. Page 0 is the
     superblock (magic, version, page size, page count, a root-address
-    slot, CRC); every other page carries a 9-byte header and payload
-    bytes. A block is an {e extent}: a chain of one or more pages whose
+    slot, CRC); every other page carries a 13-byte header — kind, next
+    page, payload length, and a CRC-32 over header and payload — and
+    payload bytes. The CRC is verified on every page fetch (i.e. on
+    cache miss), so a flipped bit anywhere in a live page surfaces as
+    {!Corrupt_store} at read time, before damaged bytes reach a codec;
+    detections count into [Segdb_obs.Metrics] as [io.corrupt_pages].
+    A block is an {e extent}: a chain of one or more pages whose
     first page number is the block's address, so addresses are stable
     across payload growth and across process restarts. Payloads are
     encoded with the per-payload {!Codec}; payloads larger than one page
@@ -27,8 +32,24 @@
     charged as block transfers. *)
 
 exception Corrupt_store of string
-(** Raised by {!Make.open_existing} on a bad magic, version, CRC, or
-    page chain. *)
+(** Raised by {!Make.open_existing} on a bad magic, version, or
+    superblock CRC or page chain — and by {!Make.read} when a fetched
+    page fails its CRC or header sanity checks. *)
+
+(** Offline integrity check of a store file, without its codec.
+
+    Verifies the superblock, every page's header sanity and CRC
+    (including free pages: tombstoning writes them with a valid
+    checksum), the chain structure (no escapes, double claims, or
+    chains through non-continuation pages), and the root's liveness.
+    Orphaned continuation pages from freed extents keep their stale
+    but valid headers and are deliberately {e not} findings — a
+    freshly {!Make.sync}'d store always scrubs clean. *)
+module Scrub : sig
+  val file : string -> string list
+  (** Findings, in file order; [[]] means clean. Diagnoses rather than
+      raises: any I/O error becomes a finding. *)
+end
 
 module Make (P : sig
   type t
@@ -52,7 +73,9 @@ end) : sig
     ?name:string -> ?cache_blocks:int -> stats:Io_stats.t -> path:string -> unit -> t
   (** Opens an existing store, rebuilding the live-block directory and
       free list from the page headers. The page size is read from the
-      superblock. Raises {!Corrupt_store} on a damaged file. *)
+      superblock. Raises {!Corrupt_store} on a damaged file, and on
+      images of an older format version (version 1 pages carry no
+      CRCs) with a message telling the user to re-[save]. *)
 
   (** The {!Block_store} contract: *)
 
@@ -89,4 +112,14 @@ end) : sig
   val page_count : t -> int
   (** Pages in the file, superblock included: the file's size in
       pages. *)
+
+  val verify : t -> string list
+  (** {!sync}, then {!Scrub.file} the underlying file: [[]] means the
+      on-disk image is clean. *)
+
+  val crash : t -> unit
+  (** Test hook: abandons the handle as if the process died — nothing
+      is flushed or synced, the descriptor is closed, and the handle
+      refuses further use. The file keeps whatever the last {!sync}
+      and cache evictions made durable. *)
 end

@@ -8,6 +8,7 @@ type t = {
 
 let c_append = Probe.counter "wal.append"
 let c_replayed = Probe.counter "wal.replayed"
+let sp_append = Failpoint.site "wal.append"
 
 let frame_overhead = 8 (* len u32 | crc u32 *)
 
@@ -57,13 +58,6 @@ let open_ ?(sync = true) path =
   ( { path; fd; sync_every_append = sync; bytes = valid; count = List.length records },
     records )
 
-let write_all fd buf =
-  let len = Bytes.length buf in
-  let put = ref 0 in
-  while !put < len do
-    put := !put + Unix.write fd buf !put (len - !put)
-  done
-
 let append t payload =
   Probe.bump c_append;
   Segdb_obs.Trace.with_span "wal.append" @@ fun () ->
@@ -71,19 +65,40 @@ let append t payload =
   Codec.W.u32 b (String.length payload);
   Codec.W.u32 b (Crc.string payload);
   Buffer.add_string b payload;
-  write_all t.fd (Buffer.to_bytes b);
+  (* The explicit offset pins the frame to the log's logical end: a
+     transient error retries the whole frame from its start instead of
+     appending a torn partial copy, and EINTR/EAGAIN/short writes are
+     handled by the wrapper (a persistently stalled write errors out
+     rather than spinning). *)
+  Failpoint.Io.write_all ~site:sp_append t.fd ~off:t.bytes (Buffer.to_bytes b);
   t.bytes <- t.bytes + Buffer.length b;
   t.count <- t.count + 1;
-  if t.sync_every_append then Unix.fsync t.fd
+  if t.sync_every_append then Failpoint.Io.fsync t.fd
 
-let sync t = Unix.fsync t.fd
+let sync t = Failpoint.Io.fsync t.fd
 
 let reset t =
   Unix.ftruncate t.fd 0;
   ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
   t.bytes <- 0;
   t.count <- 0;
-  Unix.fsync t.fd
+  Failpoint.Io.fsync t.fd
+
+(* ---------------- offline audit ---------------- *)
+
+type audit = { audit_records : int; valid_bytes : int; file_bytes : int }
+
+let audit path =
+  if not (Sys.file_exists path) then
+    { audit_records = 0; valid_bytes = 0; file_bytes = 0 }
+  else
+    let data = read_file path in
+    let records, valid = valid_prefix data in
+    {
+      audit_records = List.length records;
+      valid_bytes = valid;
+      file_bytes = String.length data;
+    }
 
 let size t = t.bytes
 let records t = t.count

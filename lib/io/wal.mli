@@ -26,6 +26,17 @@ val scan : string -> string list
 (** The valid records of the log at the path, in order, without opening
     it for append or repairing it. [[]] if the file does not exist. *)
 
+type audit = {
+  audit_records : int;  (** intact records in the valid prefix *)
+  valid_bytes : int;  (** bytes the valid prefix spans *)
+  file_bytes : int;  (** actual file length; any excess is a torn tail *)
+}
+
+val audit : string -> audit
+(** Non-mutating inspection of the log at the path (all zeros if the
+    file does not exist): what {!open_} would replay and how much torn
+    tail it would truncate. Backs [recover --dry-run]. *)
+
 val append : t -> string -> unit
 (** Appends one record (durably, if the log was opened with [sync]). *)
 

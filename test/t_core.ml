@@ -685,8 +685,204 @@ let test_fresh_process_roundtrip () =
                 expect_q got_q))
         [ `Naive; `Solution2 ]
 
+(* ---------------- robustness: degraded reads, scrub, repair ---------------- *)
+
+module Snapshot = Segdb_core.Snapshot
+
+let with_disarm f = Fun.protect ~finally:Segdb_io.Failpoint.disarm f
+
+(* [scan_wal] is the non-mutating read the repair path depends on: it
+   must see exactly the operations that went through the logged db. *)
+let test_scan_wal () =
+  with_tmp ".wal" (fun wal ->
+      Sys.remove wal;
+      let segs = pers_workload 31 40 in
+      let db = Db.create ~backend:`Naive ~block:16 (Array.sub segs 0 30) in
+      ignore (Db.attach_wal ~sync:false db wal);
+      Db.insert db segs.(30);
+      Db.insert db segs.(31);
+      ignore (Db.delete db segs.(5));
+      Db.detach_wal db;
+      let ops, skipped = Db.scan_wal wal in
+      Alcotest.(check int) "no skipped records" 0 skipped;
+      let describe = function
+        | Db.Op_insert s -> Printf.sprintf "+%d" s.Segment.id
+        | Db.Op_delete s -> Printf.sprintf "-%d" s.Segment.id
+      in
+      Alcotest.(check (list string))
+        "exact op sequence"
+        [
+          Printf.sprintf "+%d" segs.(30).Segment.id;
+          Printf.sprintf "+%d" segs.(31).Segment.id;
+          Printf.sprintf "-%d" segs.(5).Segment.id;
+        ]
+        (List.map describe ops);
+      (* the scan did not consume the log *)
+      let ops2, _ = Db.scan_wal wal in
+      Alcotest.(check int) "scan is repeatable" (List.length ops) (List.length ops2))
+
+(* [query_safe] under an injected query fault: the caller gets what was
+   collected, a [complete = false] flag, and the fault string — and the
+   same call heals as soon as the fault clears. *)
+let test_query_safe_degraded () =
+  let segs = pers_workload 77 80 in
+  let db = Db.create ~backend:`Solution2 ~block:16 segs in
+  let q = Vquery.segment ~x:50.0 ~ylo:0.0 ~yhi:100.0 in
+  let healthy = Db.query_safe db q in
+  Alcotest.(check bool) "complete when healthy" true healthy.Db.Degraded.complete;
+  Alcotest.(check (list int))
+    "value matches the raw query"
+    (List.sort compare (Db.query_ids db q))
+    (List.sort compare
+       (List.map (fun (s : Segment.t) -> s.Segment.id) healthy.Db.Degraded.value));
+  with_disarm (fun () ->
+      Segdb_io.Failpoint.arm
+        [ ("segdb.query", Segdb_io.Failpoint.plan Segdb_io.Failpoint.Eio) ];
+      let d = Db.query_safe db q in
+      Alcotest.(check bool) "incomplete under fault" false d.Db.Degraded.complete;
+      Alcotest.(check bool) "fault recorded" true (d.Db.Degraded.faults <> []));
+  let again = Db.query_safe db q in
+  Alcotest.(check bool) "healed after disarm" true again.Db.Degraded.complete
+
+(* And the raw query path refuses loudly rather than degrading: the
+   typed channel is opt-in. *)
+let test_raw_query_raises () =
+  let segs = pers_workload 78 30 in
+  let db = Db.create ~backend:`Naive segs in
+  with_disarm (fun () ->
+      Segdb_io.Failpoint.arm
+        [ ("segdb.query", Segdb_io.Failpoint.plan Segdb_io.Failpoint.Eio) ];
+      match Db.query_ids db (Vquery.line ~x:50.0) with
+      | _ -> Alcotest.fail "raw query must raise under fault"
+      | exception Unix.Unix_error (Unix.EIO, _, _) -> ())
+
+(* The scrub-side invariant battery on healthy databases: every backend,
+   including the random-query cross-check against a fresh naive build. *)
+let test_validate_clean () =
+  let segs = pers_workload 41 120 in
+  List.iter
+    (fun backend ->
+      let db = Db.create ~backend ~block:16 segs in
+      Alcotest.(check (list string))
+        (Db.backend_name db ^ " validates clean")
+        []
+        (Db.validate ~queries:12 ~seed:9 db))
+    all_backend_tags
+
+let test_snapshot_salvage () =
+  let segs = pers_workload 91 60 in
+  with_tmp ".snap" (fun snap ->
+      let db = Db.create ~backend:`Solution1 ~block:16 segs in
+      Db.save db snap;
+      (match Snapshot.salvage ~path:snap with
+      | [], Some c ->
+          Alcotest.(check int) "all segments salvaged" 60 (Array.length c.Snapshot.segments);
+          Alcotest.(check string) "backend survives" "solution1" c.Snapshot.header.Snapshot.backend
+      | fs, _ -> Alcotest.failf "clean snapshot has findings: %s" (String.concat "; " fs));
+      (* flip one byte in the middle: salvage must degrade, never lie *)
+      let ic = open_in_bin snap in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let b = Bytes.of_string data in
+      let pos = Bytes.length b / 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+      let oc = open_out_bin snap in
+      output_bytes oc b;
+      close_out oc;
+      let findings, contents = Snapshot.salvage ~path:snap in
+      Alcotest.(check bool)
+        "damage is visible (finding or destroyed section)" true
+        (findings <> [] || contents = None);
+      (* a section either salvages intact or is dropped — never altered *)
+      match contents with
+      | None -> ()
+      | Some c ->
+          Alcotest.(check bool)
+            "surviving segments are bit-identical" true
+            (c.Snapshot.segments = Array.of_list (Array.to_list segs)
+            || findings <> []))
+
+(* The repair pipeline's building blocks, end to end in-process:
+   salvage the snapshot, rebuild, replay the scanned WAL, validate. *)
+let test_repair_roundtrip () =
+  let segs = pers_workload 17 80 in
+  with_tmp ".snap" (fun snap ->
+      with_tmp ".wal" (fun wal ->
+          Sys.remove wal;
+          let db = Db.create ~backend:`Solution2 ~block:16 (Array.sub segs 0 70) in
+          Db.save db snap;
+          ignore (Db.attach_wal ~sync:false db wal);
+          for i = 70 to 79 do
+            Db.insert db segs.(i)
+          done;
+          ignore (Db.delete db segs.(3));
+          let expect = answers db (pers_queries segs) in
+          Db.detach_wal db;
+          (* the "repair": salvage + rebuild + replay, touching neither input *)
+          let findings, contents = Snapshot.salvage ~path:snap in
+          Alcotest.(check (list string)) "salvage clean" [] findings;
+          let c = match contents with Some c -> c | None -> Alcotest.fail "no contents" in
+          let db2 =
+            Db.create ~backend:`Solution2 ~block:c.Snapshot.header.Snapshot.block
+              c.Snapshot.segments
+          in
+          let ops, skipped = Db.scan_wal wal in
+          Alcotest.(check int) "log fully decodable" 0 skipped;
+          Db.apply_wal_ops db2 ops;
+          Alcotest.(check (list string)) "repaired db validates" []
+            (Db.validate ~queries:8 db2);
+          List.iteri
+            (fun i (got, want) ->
+              if got <> want then Alcotest.failf "query %d diverged after repair" i)
+            (List.combine (answers db2 (pers_queries segs)) expect)))
+
+(* Same pipeline through the real executable: scrub a damaged snapshot
+   (non-zero exit, findings on stdout), repair it, scrub the repaired
+   copy clean. *)
+let test_cli_scrub_repair () =
+  match cli_exe with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let segs = pers_workload 23 50 in
+      with_tmp ".snap" (fun snap ->
+          with_tmp ".snap2" (fun out ->
+              let db = Db.create ~backend:`Solution2 ~block:16 segs in
+              Db.save db snap;
+              (* clean scrub exits 0 *)
+              let rc = Sys.command (Filename.quote_command exe [ "scrub"; snap ] ^ " > /dev/null") in
+              Alcotest.(check int) "clean scrub exit code" 0 rc;
+              (* damage the image section's CRC region: past the header *)
+              let fd = Unix.openfile snap [ Unix.O_RDWR ] 0 in
+              let size = (Unix.fstat fd).Unix.st_size in
+              ignore (Unix.lseek fd (size - 8) Unix.SEEK_SET);
+              ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+              Unix.close fd;
+              let rc = Sys.command (Filename.quote_command exe [ "scrub"; snap ] ^ " > /dev/null") in
+              Alcotest.(check bool) "damaged scrub exits non-zero" true (rc <> 0);
+              let rc =
+                Sys.command
+                  (Filename.quote_command exe [ "repair"; snap; "-o"; out ] ^ " > /dev/null")
+              in
+              Alcotest.(check int) "repair succeeds" 0 rc;
+              let rc = Sys.command (Filename.quote_command exe [ "scrub"; out ] ^ " > /dev/null") in
+              Alcotest.(check int) "repaired snapshot scrubs clean" 0 rc;
+              let db2 = Db.open_db out in
+              Alcotest.(check int) "repaired contents" (Array.length segs) (Db.size db2)))
+
 let suite =
   let name, cases = suite in
   ( name,
     cases
-    @ [ Alcotest.test_case "fresh-process snapshot roundtrip" `Quick test_fresh_process_roundtrip ] )
+    @ [
+        Alcotest.test_case "fresh-process snapshot roundtrip" `Quick test_fresh_process_roundtrip;
+        Alcotest.test_case "scan_wal sees the op sequence" `Quick test_scan_wal;
+        Alcotest.test_case "query_safe degrades and heals" `Quick test_query_safe_degraded;
+        Alcotest.test_case "raw query raises under fault" `Quick test_raw_query_raises;
+        Alcotest.test_case "validate clean on every backend" `Quick test_validate_clean;
+        Alcotest.test_case "snapshot salvage" `Quick test_snapshot_salvage;
+        Alcotest.test_case "repair pipeline roundtrip" `Quick test_repair_roundtrip;
+        Alcotest.test_case "cli scrub + repair" `Quick test_cli_scrub_repair;
+      ] )

@@ -705,6 +705,355 @@ let test_wal_corrupt_byte () =
       close_out oc;
       Alcotest.(check (list string)) "corrupt frame stops the scan" [] (Wal.scan path))
 
+(* ---------------- Failpoint + checksummed store ---------------- *)
+
+(* Every test arms the global registry, so every test disarms in a
+   [finally] — a leaked plan would fault unrelated tests. *)
+let with_armed ?seed plans f =
+  Fun.protect ~finally:Failpoint.disarm (fun () ->
+      Failpoint.arm ?seed plans;
+      f ())
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_fp_parse () =
+  (match Failpoint.parse_spec "wal.append=crash@3;pread=eio+" with
+  | Error e -> Alcotest.failf "valid spec rejected: %s" e
+  | Ok plans ->
+      Alcotest.(check int) "two plans" 2 (List.length plans);
+      let p = List.assoc "wal.append" plans in
+      Alcotest.(check int) "hit number" 3 p.Failpoint.at;
+      Alcotest.(check bool) "one-shot" false p.Failpoint.persistent;
+      let q = List.assoc "pread" plans in
+      Alcotest.(check bool) "persistent" true q.Failpoint.persistent);
+  List.iter
+    (fun bad ->
+      match Failpoint.parse_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed spec accepted: %S" bad)
+    [ "pread"; "pread=frob"; "pread=eio@zero"; "=eio" ]
+
+let test_fp_disarmed () =
+  Failpoint.disarm ();
+  Alcotest.(check bool) "disarmed by default" false (Failpoint.armed ());
+  Alcotest.(check bool) "fire is a no-op" true
+    (Failpoint.fire (Failpoint.site "pread") = None)
+
+(* A one-shot transient EIO on the read path heals invisibly: the
+   caller sees the correct value, only the retry counter moves. *)
+let test_fp_retry_transparent () =
+  with_store ~page_size:128 ~cache_blocks:1 (fun _ _ s ->
+      let a = FS.alloc s [| 1; 2; 3 |] in
+      let _b = FS.alloc s [| 4 |] in
+      FS.flush s;
+      with_armed [ ("pread", Failpoint.plan Failpoint.Eio) ] (fun () ->
+          Alcotest.(check (array int)) "transient EIO healed" [| 1; 2; 3 |] (FS.read s a);
+          Alcotest.(check bool) "site fired" true
+            (Failpoint.hits (Failpoint.site "pread") >= 1));
+      FS.close s)
+
+(* A persistent EIO is a dead device: the bounded retry gives up and
+   the error surfaces instead of spinning forever. *)
+let test_fp_persistent_eio () =
+  with_store ~page_size:128 ~cache_blocks:1 (fun _ _ s ->
+      let a = FS.alloc s [| 9; 9 |] in
+      let _b = FS.alloc s [| 4 |] in
+      FS.flush s;
+      with_armed [ ("pread", Failpoint.plan ~persistent:true Failpoint.Eio) ] (fun () ->
+          match FS.read s a with
+          | _ -> Alcotest.fail "persistent EIO must surface"
+          | exception Unix.Unix_error (Unix.EIO, _, _) -> ()
+          | exception File_store.Corrupt_store _ -> ());
+      (* the device recovered: the store object is still usable *)
+      Alcotest.(check (array int)) "usable after disarm" [| 9; 9 |] (FS.read s a);
+      FS.close s)
+
+(* A flipped bit on the write path is silent at write time; the page
+   CRC refuses it at read time — or, if the flip landed in the page's
+   uncovered slack, the value is simply intact. Either way, never a
+   silently wrong value. *)
+let test_fp_write_flip_caught () =
+  with_store ~page_size:128 ~cache_blocks:1 (fun _ _ s ->
+      let a = FS.alloc s [| 5; 6; 7 |] in
+      with_armed ~seed:7 [ ("pwrite", Failpoint.plan Failpoint.Bit_flip) ] (fun () ->
+          let _b = FS.alloc s [| 1 |] in
+          (* allocating _b evicted dirty a through the flipped pwrite *)
+          ());
+      (match FS.read s a with
+      | v -> Alcotest.(check (array int)) "flip in slack: value intact" [| 5; 6; 7 |] v
+      | exception File_store.Corrupt_store _ -> ());
+      FS.close s)
+
+(* Deterministic page-CRC check: flip the first payload byte of the
+   first page on disk; the read must refuse and the scrubber must point
+   at the page. *)
+let test_fstore_crc_detects_flip () =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = FS.create ~page_size:128 ~cache_blocks:2 ~stats:(Io_stats.create ()) ~path () in
+      let a = FS.alloc s [| 11; 12; 13 |] in
+      FS.sync s;
+      FS.close s;
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let off = 128 + 13 in
+      (* first payload byte of page 1 *)
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      (match File_store.Scrub.file path with
+      | [] -> Alcotest.fail "scrub must report the damaged page"
+      | fs ->
+          Alcotest.(check bool)
+            "finding names page 1" true
+            (List.exists (fun m -> contains ~sub:"page 1" m) fs));
+      let s2 = FS.open_existing ~stats:(Io_stats.create ()) ~path () in
+      (match FS.read s2 a with
+      | _ -> Alcotest.fail "corrupt page must not decode"
+      | exception File_store.Corrupt_store _ -> ());
+      FS.close s2)
+
+(* The satellite property: flip one byte ANYWHERE in a saved store
+   file. Acceptable outcomes: detected (open or read raises
+   [Corrupt_store], and the scrubber reports a finding) or provably
+   harmless (every surviving value reads back bit-identical). Silent
+   wrong answers — and clean scrubs alongside read failures — fail. *)
+let prop_fstore_flip_never_silent =
+  QCheck.Test.make ~name:"single byte flip in the store is never silent" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 0 7))
+    (fun (posx, bit) ->
+      let path = tmpfile () in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let s =
+            FS.create ~page_size:64 ~cache_blocks:2 ~stats:(Io_stats.create ()) ~path ()
+          in
+          let payload i = Array.init (1 + (i * 5 mod 17)) (fun j -> (i * 100) + j) in
+          let addrs = Array.init 8 (fun i -> FS.alloc s (payload i)) in
+          FS.free s addrs.(2);
+          FS.set_root s addrs.(0);
+          FS.sync s;
+          FS.close s;
+          let ic = open_in_bin path in
+          let data =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let pos = posx mod String.length data in
+          let b = Bytes.of_string data in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+          let oc = open_out_bin path in
+          output_bytes oc b;
+          close_out oc;
+          let findings = File_store.Scrub.file path in
+          match FS.open_existing ~stats:(Io_stats.create ()) ~path () with
+          | exception File_store.Corrupt_store _ -> findings <> []
+          | s2 ->
+              let silent = ref false and detected = ref false in
+              Array.iteri
+                (fun i a ->
+                  if i <> 2 then
+                    match FS.read s2 a with
+                    | v -> if v <> payload i then silent := true
+                    | exception File_store.Corrupt_store _ -> detected := true)
+                addrs;
+              FS.close s2;
+              (not !silent) && ((not !detected) || findings <> [])))
+
+(* Format gate: a version-1 image (even with a self-consistent CRC)
+   is refused with a message that says how to migrate. *)
+let test_fstore_v1_rejected () =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = FS.create ~page_size:128 ~cache_blocks:2 ~stats:(Io_stats.create ()) ~path () in
+      ignore (FS.alloc s [| 1 |]);
+      FS.sync s;
+      FS.close s;
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let sb = Bytes.create 28 in
+      ignore (Unix.read fd sb 0 28);
+      Bytes.set_int32_le sb 8 1l;
+      (* re-seal: the CRC is valid, only the version is old *)
+      let crc = Crc.string (Bytes.sub_string sb 0 24) in
+      Bytes.set_int32_le sb 24 (Int32.of_int crc);
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      ignore (Unix.write fd sb 0 28);
+      Unix.close fd;
+      (match FS.open_existing ~stats:(Io_stats.create ()) ~path () with
+      | _ -> Alcotest.fail "v1 image must be rejected"
+      | exception File_store.Corrupt_store m ->
+          Alcotest.(check bool)
+            "message names the version" true
+            (contains ~sub:"version" m));
+      Alcotest.(check bool)
+        "scrub reports the version too" true
+        (List.exists
+           (fun m -> contains ~sub:"version" m)
+           (File_store.Scrub.file path)))
+
+(* A store that has only ever gone through the front door scrubs
+   clean — including after frees, shrinks and multi-page extents. *)
+let test_fstore_fresh_scrub_clean () =
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = FS.create ~page_size:64 ~cache_blocks:2 ~stats:(Io_stats.create ()) ~path () in
+      let big = FS.alloc s (Array.init 100 (fun i -> i)) in
+      let small = FS.alloc s [| 1 |] in
+      FS.free s small;
+      FS.write s big [| 9 |];
+      (* shrink: surplus pages become tombstones *)
+      ignore (FS.alloc s (Array.init 30 (fun i -> i)));
+      FS.sync s;
+      FS.close s;
+      Alcotest.(check (list string)) "clean" [] (File_store.Scrub.file path))
+
+(* Torn WAL append: the writer dies mid-frame; recovery replays the
+   intact prefix and truncates the tear, and [Wal.audit] sees both
+   states. *)
+let test_wal_torn_append () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w, _ = Wal.open_ ~sync:false path in
+      Wal.append w "one";
+      Wal.append w "two";
+      with_armed ~seed:3 [ ("wal.append", Failpoint.plan Failpoint.Torn) ] (fun () ->
+          match Wal.append w (String.make 200 'q') with
+          | () -> Alcotest.fail "torn append must crash"
+          | exception Failpoint.Injected_crash _ -> ());
+      Wal.close w;
+      let a = Wal.audit path in
+      Alcotest.(check int) "intact records" 2 a.Wal.audit_records;
+      Alcotest.(check bool) "tear is visible" true (a.Wal.file_bytes >= a.Wal.valid_bytes);
+      let w2, replayed = Wal.open_ ~sync:false path in
+      Alcotest.(check (list string)) "prefix replayed" [ "one"; "two" ] replayed;
+      Wal.close w2;
+      let a2 = Wal.audit path in
+      Alcotest.(check int) "tail truncated" a2.Wal.valid_bytes a2.Wal.file_bytes)
+
+(* A short write on the append path is retried from the frame start:
+   the caller never notices and the log has no partial frame. *)
+let test_wal_short_append_retried () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w, _ = Wal.open_ ~sync:false path in
+      Wal.append w "first";
+      with_armed ~seed:5 [ ("wal.append", Failpoint.plan Failpoint.Short) ] (fun () ->
+          Wal.append w (String.make 100 'r'));
+      Wal.append w "last";
+      Wal.close w;
+      Alcotest.(check (list string))
+        "every record intact"
+        [ "first"; String.make 100 'r'; "last" ]
+        (Wal.scan path);
+      let a = Wal.audit path in
+      Alcotest.(check int) "no torn bytes" a.Wal.valid_bytes a.Wal.file_bytes)
+
+(* Bit flips in each field of a WAL frame: length, checksum, payload —
+   the scan must stop at the damaged frame, never deliver garbage. *)
+let test_wal_flip_fields () =
+  let write_flipped path data pos =
+    let b = Bytes.of_string data in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc
+  in
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w, _ = Wal.open_ ~sync:false path in
+      Wal.append w "hello";
+      Wal.append w "world";
+      Wal.close w;
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* frame 1 occupies [0, 13): len u32 | crc u32 | 5 payload bytes *)
+      List.iter
+        (fun (pos, what) ->
+          write_flipped path data pos;
+          Alcotest.(check (list string))
+            (Printf.sprintf "flip in %s kills frame 1" what)
+            [] (Wal.scan path))
+        [ (0, "length"); (4, "checksum"); (9, "payload") ];
+      (* frame 2's fields: frame 1 must still be delivered *)
+      List.iter
+        (fun (pos, what) ->
+          write_flipped path data pos;
+          Alcotest.(check (list string))
+            (Printf.sprintf "flip in frame-2 %s keeps frame 1" what)
+            [ "hello" ] (Wal.scan path))
+        [ (13, "length"); (17, "checksum"); (21, "payload") ])
+
+let test_wal_audit () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let missing = Wal.audit (path ^ ".does-not-exist") in
+      Alcotest.(check int) "missing file: no records" 0 missing.Wal.audit_records;
+      Alcotest.(check int) "missing file: no bytes" 0 missing.Wal.file_bytes;
+      let w, _ = Wal.open_ ~sync:false path in
+      Wal.append w "aa";
+      Wal.append w "bbbb";
+      Wal.close w;
+      let a = Wal.audit path in
+      Alcotest.(check int) "records" 2 a.Wal.audit_records;
+      Alcotest.(check int) "fully valid" a.Wal.file_bytes a.Wal.valid_bytes;
+      Alcotest.(check int) "framing accounted" (8 + 2 + 8 + 4) a.Wal.valid_bytes;
+      (* garbage after the valid prefix *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\xde\xad\xbe\xef";
+      close_out oc;
+      let a2 = Wal.audit path in
+      Alcotest.(check int) "records unchanged" 2 a2.Wal.audit_records;
+      Alcotest.(check int) "valid prefix unchanged" a.Wal.valid_bytes a2.Wal.valid_bytes;
+      Alcotest.(check int) "garbage counted" (a.Wal.file_bytes + 4) a2.Wal.file_bytes)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "failpoint spec parser" `Quick test_fp_parse;
+        Alcotest.test_case "failpoint disarmed no-op" `Quick test_fp_disarmed;
+        Alcotest.test_case "transient EIO healed by retry" `Quick test_fp_retry_transparent;
+        Alcotest.test_case "persistent EIO surfaces bounded" `Quick test_fp_persistent_eio;
+        Alcotest.test_case "write-path bit flip caught by CRC" `Quick
+          test_fp_write_flip_caught;
+        Alcotest.test_case "page CRC detects a flipped byte" `Quick
+          test_fstore_crc_detects_flip;
+        qtest prop_fstore_flip_never_silent;
+        Alcotest.test_case "v1 store image rejected" `Quick test_fstore_v1_rejected;
+        Alcotest.test_case "fresh store scrubs clean" `Quick test_fstore_fresh_scrub_clean;
+        Alcotest.test_case "wal torn append recovers prefix" `Quick test_wal_torn_append;
+        Alcotest.test_case "wal short append retried" `Quick test_wal_short_append_retried;
+        Alcotest.test_case "wal flips in every frame field" `Quick test_wal_flip_fields;
+        Alcotest.test_case "wal audit" `Quick test_wal_audit;
+      ] )
+
 let suite =
   let name, cases = suite in
   ( name,
