@@ -22,7 +22,7 @@ let quick =
 
 (* ---------------- machine-readable output ---------------- *)
 
-(* Every measurement also lands in BENCH_PR3.json so runs can be
+(* Every measurement also lands in BENCH_PR6.json so runs can be
    diffed without scraping the ASCII tables. *)
 
 type json_row = {
@@ -328,6 +328,95 @@ let run_parallel_throughput () =
   Printf.printf "(machine reports %d hardware thread(s))\n"
     (Domain.recommended_domain_count ())
 
+(* ---------------- loopback serving throughput ---------------- *)
+
+(* The serving layer measured end to end over a Unix socket: frame
+   encode + CRC + syscalls + queue + worker execution + response
+   decode, per request. One concurrent client domain per worker domain
+   keeps every worker busy (a single blocking client would serialize
+   the server). Latencies are recorded per request into per-client
+   histograms and merged, so the p99 covers queueing, not just
+   execution. *)
+
+let run_net_throughput () =
+  let module Server = Segdb_net.Server in
+  let module Client = Segdb_net.Client in
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let nq = 64 in
+  let queries = W.segment_queries (Rng.create 46) ~n:nq ~span ~selectivity:0.02 in
+  let db = Db.create ~backend:`Solution2 ~block:64 ~pool_blocks:64 segs in
+  let dir = Filename.temp_file "segdb_bench_net" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let min_elapsed = if quick then 0.1 else 0.5 in
+  let table =
+    Segdb_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "loopback serving throughput: solution2, n=%d, unix socket (obs off)" n)
+      ~columns:[ "domains"; "requests/sec"; "p50 us"; "p99 us"; "max us" ]
+  in
+  List.iter
+    (fun domains ->
+      let sock = Filename.concat dir (Printf.sprintf "bench%d.sock" domains) in
+      let srv = Server.create ~domains ~queue_depth:256 ~db (Server.Unix_path sock) in
+      Server.start srv;
+      let stop_clients = Atomic.make false in
+      let client i () =
+        let c = Client.connect (Server.Unix_path sock) in
+        let h = Segdb_obs.Histogram.create () in
+        let count = ref 0 in
+        let qi = ref (i * 17) in
+        while not (Atomic.get stop_clients) do
+          let q = queries.(!qi mod nq) in
+          incr qi;
+          let t0 = Segdb_obs.Trace.now_ns () in
+          ignore (Client.query c q);
+          Segdb_obs.Histogram.record h (Segdb_obs.Trace.now_ns () - t0);
+          incr count
+        done;
+        Client.close c;
+        (h, !count)
+      in
+      let t0 = Unix.gettimeofday () in
+      let clients = List.init domains (fun i -> Domain.spawn (client i)) in
+      Unix.sleepf min_elapsed;
+      Atomic.set stop_clients true;
+      let results = List.map Domain.join clients in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Server.stop srv;
+      Server.wait srv;
+      let h = Segdb_obs.Histogram.create () in
+      List.iter (fun (hc, _) -> Segdb_obs.Histogram.merge_into ~into:h hc) results;
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 results in
+      let rps = float_of_int total /. elapsed in
+      let p p' = Segdb_obs.Histogram.percentile h p' in
+      add_json
+        {
+          (row "solution2" "net_query") with
+          ns_per_op = Some (1e9 /. Float.max rps 1e-9);
+          queries_per_sec = Some rps;
+          domains = Some domains;
+          p50_ns = Some (p 0.5);
+          p99_ns = Some (p 0.99);
+        };
+      Segdb_util.Table.add_row table
+        [
+          string_of_int domains;
+          Segdb_util.Table.cell_float ~decimals:0 rps;
+          Segdb_util.Table.cell_float ~decimals:1 (p 0.5 /. 1e3);
+          Segdb_util.Table.cell_float ~decimals:1 (p 0.99 /. 1e3);
+          Segdb_util.Table.cell_float ~decimals:1
+            (float_of_int (Segdb_obs.Histogram.max_value h) /. 1e3);
+        ])
+    [ 1; 2; 4 ];
+  Segdb_util.Table.print table;
+  Printf.printf "(one client domain per worker domain; machine reports %d hardware thread(s))\n"
+    (Domain.recommended_domain_count ());
+  Unix.rmdir dir
+
 (* ---------------- persistence: cold vs warm open ---------------- *)
 
 (* Not a complexity claim from the paper — an engineering table for the
@@ -423,7 +512,9 @@ let () =
   run_traced_phases ();
   Printf.printf "\n=== parallel query throughput ===\n\n";
   run_parallel_throughput ();
+  Printf.printf "\n=== loopback serving throughput ===\n\n";
+  run_net_throughput ();
   Printf.printf "\n=== persistence: snapshot open + file store ===\n\n";
   run_persistence ();
   print_newline ();
-  write_json "BENCH_PR3.json"
+  write_json "BENCH_PR6.json"

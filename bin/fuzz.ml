@@ -12,8 +12,13 @@
    on disk, and cross-check the recovered database against the model
    (allowing exactly the in-flight operation to differ).
 
+   With --net, serves the database in-process over a Unix socket, arms
+   one-shot faults on the socket sites, and cross-checks every remote
+   answer (after the client's bounded retries) against the in-process
+   oracle.
+
    Usage: fuzz [--rounds N] [--ops N] [--seed N] [--size N]
-               [--persist] [--parallel] [--domains N] [--crash]       *)
+               [--persist] [--parallel] [--domains N] [--crash] [--net] *)
 
 open Cmdliner
 open Segdb_geom
@@ -604,6 +609,98 @@ let run_crash_store_round ~seed ~ops ~site round =
       | f :: _ -> fail "recovered store does not scrub clean: %s" f));
   remove_tree dir
 
+(* ---------------- network round ----------------
+
+   The database is served in-process over a Unix socket and a client
+   cross-checks every remote answer against the in-process oracle —
+   while one-shot faults are armed on the socket sites ([net.read],
+   [net.write]). One-shot plans keep every fault survivable by
+   construction: the damaged exchange fails once (a torn frame, a
+   flipped bit caught by the CRC, a short transfer, a transient EIO)
+   and the client's bounded retry must then land the same answer the
+   in-process query gives. Crash actions are excluded: on a socket
+   site they model process death, which is the crash matrix's job. *)
+
+module Net_server = Segdb_net.Server
+module Net_client = Segdb_net.Client
+
+let net_actions = [| Failpoint.Eio; Failpoint.Short; Failpoint.Bit_flip; Failpoint.Torn |]
+
+let run_net_round ~seed ~ops ~size round =
+  let seed = seed + (round * 49157) in
+  let rng = Rng.create seed in
+  let backend = Rng.pick rng [| `Naive; `Rtree; `Solution1; `Solution2; `Solution2_nofc |] in
+  let segs = W.roads (Rng.split rng) ~n:size ~span:200.0 in
+  let db = Db.create ~backend ~block:(8 lsl Rng.int rng 3) segs in
+  let dir = Filename.concat (Lazy.force scratch_root) (Printf.sprintf "net%d" round) in
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "fuzz.sock" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (net round %d, seed %d): %s\n" round seed msg;
+        exit 1)
+      fmt
+  in
+  let srv = Net_server.create ~domains:2 ~queue_depth:64 ~db (Net_server.Unix_path sock) in
+  Net_server.start srv;
+  let c = Net_client.connect ~retries:8 ~backoff_ms:2 (Net_server.Unix_path sock) in
+  let random_query () =
+    let x = Rng.float rng 220.0 -. 10.0 in
+    match Rng.int rng 4 with
+    | 0 -> Vquery.line ~x
+    | 1 -> Vquery.ray_up ~x ~ylo:(Rng.float rng 200.0)
+    | 2 -> Vquery.ray_down ~x ~yhi:(Rng.float rng 200.0)
+    | _ ->
+        let y = Rng.float rng 200.0 in
+        Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0)
+  in
+  let bursts = max 1 (ops / 10) in
+  for burst = 1 to bursts do
+    let plans =
+      List.filter_map
+        (fun site ->
+          if Rng.bool rng then
+            Some (site, Failpoint.plan ~at:(1 + Rng.int rng 6) (Rng.pick rng net_actions))
+          else None)
+        [ "net.read"; "net.write" ]
+    in
+    Failpoint.arm ~seed:(seed + burst) plans;
+    for _ = 1 to 5 do
+      match Rng.int rng 3 with
+      | 0 ->
+          let q = random_query () in
+          let expected = List.sort compare (Db.query_ids db q) in
+          let got = Net_client.query c q in
+          if not got.Db.Degraded.complete then
+            fail "query reported degraded on a healthy store (%s)"
+              (String.concat "; " got.Db.Degraded.faults);
+          if got.Db.Degraded.value <> expected then
+            fail "remote answer diverged (%d vs %d ids) on %s"
+              (List.length got.Db.Degraded.value)
+              (List.length expected)
+              (Format.asprintf "%a" Vquery.pp q)
+      | 1 ->
+          let q = random_query () in
+          let got = Net_client.count c q and expected = Db.count db q in
+          if got <> expected then
+            fail "remote count %d vs %d on %s" got expected
+              (Format.asprintf "%a" Vquery.pp q)
+      | _ ->
+          let qs = Array.init (1 + Rng.int rng 8) (fun _ -> random_query ()) in
+          let expected = Array.map (fun q -> List.sort compare (Db.query_ids db q)) qs in
+          let got = Net_client.batch c qs in
+          if got.Db.Degraded.value <> expected then
+            fail "remote batch of %d diverged from the in-process answers"
+              (Array.length qs)
+    done;
+    Failpoint.disarm ()
+  done;
+  Net_client.shutdown c;
+  Net_client.close c;
+  Net_server.wait srv;
+  remove_tree dir
+
 let store_sites = [ "pread"; "pwrite"; "store.sync" ]
 
 let run_crash_matrix ~rounds ~ops ~seed ~size =
@@ -625,19 +722,25 @@ let run_crash_matrix ~rounds ~ops ~seed ~size =
      and scrubbed clean\n"
     (List.length sites) rounds (String.concat ", " sites)
 
-let fuzz rounds ops seed size persist parallel crash domains =
+let fuzz rounds ops seed size persist parallel crash net domains =
   if crash then begin
     run_crash_matrix ~rounds ~ops ~seed ~size;
     0
   end
   else begin
   for round = 1 to rounds do
-    if parallel then run_parallel_round ~seed ~ops ~size ~domains round
+    if net then run_net_round ~seed ~ops ~size round
+    else if parallel then run_parallel_round ~seed ~ops ~size ~domains round
     else if persist then run_persist_round ~seed ~ops ~size round
     else run_round ~seed ~ops ~size round;
     if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
   done;
-  if parallel then
+  if net then
+    Printf.printf
+      "fuzz: %d net rounds x ~%d requests under socket faults, every remote answer \
+       matched the in-process oracle\n"
+      rounds (ops / 10 * 5)
+  else if parallel then
     Printf.printf
       "fuzz: %d parallel rounds x %d queries, %d-domain answers identical to serial\n" rounds
       ops domains
@@ -683,6 +786,17 @@ let crash_t =
            or absent; anything else fails). Recovered state must validate and scrub \
            clean.")
 
+let net_t =
+  Arg.(
+    value & flag
+    & info [ "net" ]
+        ~doc:
+          "Network rounds: serve the database in-process over a Unix socket, arm \
+           one-shot faults on the socket sites ($(i,net.read), $(i,net.write): torn \
+           frames, flipped bits, short transfers, transient EIO), and cross-check every \
+           remote answer — after the client's bounded retries — against the in-process \
+           oracle.")
+
 let domains_t =
   Arg.(
     value & opt int 4
@@ -693,7 +807,7 @@ let cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t $ parallel_t $ crash_t
-      $ domains_t)
+      $ net_t $ domains_t)
 
 let () =
   Failpoint.arm_from_env ();

@@ -11,6 +11,12 @@
      recover   — replay a WAL over a snapshot, optionally checkpointing
      scrub     — verify a store/snapshot file: CRCs, chains, index invariants
      repair    — rebuild a damaged snapshot from surviving sections + WAL
+     serve     — serve a segment file or snapshot over TCP / a Unix socket
+     ping      — round-trip a ping frame against a running server
+     shutdown  — ask a running server to drain and exit
+
+   query, batch and stats accept --connect HOST:PORT (or unix:PATH) to
+   run against a server instead of building an index in-process.
 
    Fault injection: every subcommand honours SEGDB_FAILPOINTS (see
    Segdb_io.Failpoint), e.g.
@@ -38,6 +44,8 @@ module Wal = Segdb_io.Wal
 module Failpoint = Segdb_io.Failpoint
 module Snapshot = Segdb_core.Snapshot
 module Obs = Segdb_obs
+module Server = Segdb_net.Server
+module Client = Segdb_net.Client
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -75,6 +83,40 @@ let backend_t =
 
 let file_t =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Segment file.")
+
+let addr_conv =
+  let parse s =
+    match Server.addr_of_string s with Ok a -> Ok a | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Server.pp_addr)
+
+let connect_t =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Run against a server at $(i,HOST:PORT) or $(i,unix:PATH) instead of building \
+           an index in-process; the positional file argument is then unused.")
+
+(* query/batch/stats take the segment file positionally but can run
+   remotely instead; the file is only demanded when there is no
+   --connect. *)
+let file_opt_t =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Segment file (not needed with $(b,--connect)).")
+
+let require_file cmd = function
+  | Some f -> f
+  | None ->
+      Printf.eprintf "%s: FILE argument required without --connect\n" cmd;
+      exit 2
+
+let degraded_note complete faults =
+  if complete then ""
+  else Printf.sprintf " [DEGRADED: partial result; %s]" (String.concat "; " faults)
 
 let selectivity_t =
   Arg.(
@@ -145,7 +187,7 @@ let render_metrics = function
   | `Json -> print_string (Obs.Export.json Obs.Metrics.default)
   | `Prometheus -> print_string (Obs.Export.prometheus Obs.Metrics.default)
 
-let stats file backend block pool nqueries selectivity seed format =
+let stats_local file backend block pool nqueries selectivity seed format =
   Obs.Control.enable ();
   let segs = Seg_file.load file in
   let t0 = Unix.gettimeofday () in
@@ -170,6 +212,30 @@ let stats file backend block pool nqueries selectivity seed format =
   render_metrics format;
   0
 
+(* Every remote entry point funnels through this: a client failure
+   (retries exhausted, server gone) is an exit-code-1 diagnostic, not
+   an uncaught exception. *)
+let with_client addr f =
+  match
+    let c = Client.connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+  with
+  | r -> r
+  | exception Client.Error m ->
+      Printf.eprintf "%s\n" m;
+      1
+
+let stats file connect backend block pool nqueries selectivity seed format =
+  match connect with
+  | Some addr ->
+      (* the server's live registry, over the wire *)
+      with_client addr (fun c ->
+          print_string (Client.stats c format);
+          0)
+  | None ->
+      stats_local (require_file "stats" file) backend block pool nqueries selectivity seed
+        format
+
 let stats_queries_t =
   Arg.(
     value & opt int 0
@@ -181,21 +247,28 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "build an index and print structural statistics plus the observability metrics \
-          (counters, histograms, per-phase spans)")
+          (counters, histograms, per-phase spans); with $(b,--connect), fetch a running \
+          server's metrics over the wire instead")
     Term.(
-      const stats $ file_t $ backend_t $ block_t $ pool_t $ stats_queries_t
+      const stats $ file_opt_t $ connect_t $ backend_t $ block_t $ pool_t $ stats_queries_t
       $ selectivity_t $ seed_t $ format_t)
 
 (* ---------------- query ---------------- *)
 
-let query file backend block pool x ylo yhi verbose trace =
+let remote_query addr q verbose =
+  with_client addr (fun c ->
+      let r = Client.query c q in
+      Printf.printf "%s -> %d segments%s (via %s)\n"
+        (Format.asprintf "%a" Vquery.pp q)
+        (List.length r.Db.Degraded.value)
+        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults)
+        (Server.addr_to_string addr);
+      if verbose then List.iter (Printf.printf "  %d\n") r.Db.Degraded.value;
+      0)
+
+let query_local file backend block pool q verbose trace =
   let segs = Seg_file.load file in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
-  let q =
-    Vquery.segment ~x
-      ~ylo:(Option.value ylo ~default:neg_infinity)
-      ~yhi:(Option.value yhi ~default:infinity)
-  in
   if trace then begin
     Obs.Control.enable ();
     Obs.Trace.clear ()
@@ -216,6 +289,16 @@ let query file backend block pool x ylo yhi verbose trace =
     print_string (Obs.Export.phase_summary Obs.Metrics.default)
   end;
   0
+
+let query file connect backend block pool x ylo yhi verbose trace =
+  let q =
+    Vquery.segment ~x
+      ~ylo:(Option.value ylo ~default:neg_infinity)
+      ~yhi:(Option.value yhi ~default:infinity)
+  in
+  match connect with
+  | Some addr -> remote_query addr q verbose
+  | None -> query_local (require_file "query" file) backend block pool q verbose trace
 
 let x_t = Arg.(required & opt (some float) None & info [ "x" ] ~docv:"X" ~doc:"Query abscissa.")
 
@@ -243,10 +326,10 @@ let trace_t =
 
 let query_cmd =
   Cmd.v
-    (Cmd.info "query" ~doc:"run one vertical line/ray/segment query")
+    (Cmd.info "query" ~doc:"run one vertical line/ray/segment query, locally or remotely")
     Term.(
-      const query $ file_t $ backend_t $ block_t $ pool_t $ x_t $ ylo_t $ yhi_t $ verbose_t
-      $ trace_t)
+      const query $ file_opt_t $ connect_t $ backend_t $ block_t $ pool_t $ x_t $ ylo_t
+      $ yhi_t $ verbose_t $ trace_t)
 
 (* ---------------- compare ---------------- *)
 
@@ -300,42 +383,58 @@ let compare_cmd =
    "X YLO YHI" (bounded segment). float_of_string accepts "inf" and
    "-inf", so unbounded ends can also be written explicitly. Blank
    lines and "#" comments are skipped. *)
-let load_queries path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let acc = ref [] in
-      let lineno = ref 0 in
-      (try
-         while true do
-           incr lineno;
-           let line = String.trim (input_line ic) in
-           if line <> "" && line.[0] <> '#' then begin
-             let fields =
-               String.split_on_char ' ' line
-               |> List.concat_map (String.split_on_char '\t')
-               |> List.filter (fun s -> s <> "")
-             in
-             match List.map float_of_string fields with
-             | [ x ] -> acc := Vquery.line ~x :: !acc
-             | [ x; ylo ] -> acc := Vquery.ray_up ~x ~ylo :: !acc
-             | [ x; ylo; yhi ] -> acc := Vquery.segment ~x ~ylo ~yhi :: !acc
-             | _ | (exception Failure _) ->
-                 Printf.eprintf "%s:%d: expected X [YLO [YHI]], got %S\n" path !lineno line;
-                 exit 2
-           end
-         done
-       with End_of_file -> ());
-      Array.of_list (List.rev !acc))
+let parse_queries name ic =
+  let acc = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         let fields =
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun s -> s <> "")
+         in
+         match List.map float_of_string fields with
+         | [ x ] -> acc := Vquery.line ~x :: !acc
+         | [ x; ylo ] -> acc := Vquery.ray_up ~x ~ylo :: !acc
+         | [ x; ylo; yhi ] -> acc := Vquery.segment ~x ~ylo ~yhi :: !acc
+         | _ | (exception Failure _) ->
+             Printf.eprintf "%s:%d: expected X [YLO [YHI]], got %S\n" name !lineno line;
+             exit 2
+       end
+     done
+   with End_of_file -> ());
+  Array.of_list (List.rev !acc)
 
-let batch file backend block pool domains queries_file verbose =
+let load_queries path =
+  if path = "-" then parse_queries "<stdin>" stdin
+  else begin
+    let ic = try open_in path with Sys_error m -> Printf.eprintf "%s\n" m; exit 2 in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_queries path ic)
+  end
+
+let remote_batch addr qs verbose =
+  with_client addr (fun c ->
+      let t0 = Unix.gettimeofday () in
+      let r = Client.batch c qs in
+      let dt = Unix.gettimeofday () -. t0 in
+      Array.iteri
+        (fun i ids ->
+          Printf.printf "%s -> %d segments\n"
+            (Format.asprintf "%a" Vquery.pp qs.(i))
+            (List.length ids);
+          if verbose then List.iter (Printf.printf "  %d\n") ids)
+        r.Db.Degraded.value;
+      Printf.printf "%d queries via %s: %.3fs (%.0f queries/sec)%s\n" (Array.length qs)
+        (Server.addr_to_string addr) dt
+        (float_of_int (Array.length qs) /. Float.max dt 1e-9)
+        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults);
+      0)
+
+let batch_local file backend block pool domains qs verbose =
   let segs = Seg_file.load file in
-  let qs = load_queries queries_file in
-  if Array.length qs = 0 then begin
-    Printf.eprintf "%s: no queries\n" queries_file;
-    exit 2
-  end;
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
   let readers = Array.init domains (fun _ -> Db.reader db) in
   let t0 = Unix.gettimeofday () in
@@ -376,24 +475,36 @@ let domains_t =
     value & opt int 4
     & info [ "domains" ] ~docv:"N" ~doc:"Worker domains answering the batch.")
 
+let batch file connect backend block pool domains queries_file verbose =
+  let qs = load_queries queries_file in
+  if Array.length qs = 0 then begin
+    Printf.eprintf "%s: no queries\n" queries_file;
+    exit 2
+  end;
+  match connect with
+  | Some addr -> remote_batch addr qs verbose
+  | None -> batch_local (require_file "batch" file) backend block pool domains qs verbose
+
 let queries_file_t =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "queries-file"; "q" ] ~docv:"FILE"
         ~doc:
           "Query file: one query per line as $(i,X) (vertical line), $(i,X YLO) (upward \
-           ray) or $(i,X YLO YHI) (bounded segment); blank lines and # comments ignored.")
+           ray) or $(i,X YLO YHI) (bounded segment); blank lines and # comments ignored. \
+           $(b,-) reads the queries from stdin.")
 
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "answer a file of vertical queries with $(b,Segdb.parallel_query), fanning the \
-          batch across worker domains with private read contexts")
+          batch across worker domains with private read contexts — or, with \
+          $(b,--connect), ship the batch to a server as one frame")
     Term.(
-      const batch $ file_t $ backend_t $ block_t $ pool_t $ domains_t $ queries_file_t
-      $ verbose_t)
+      const batch $ file_opt_t $ connect_t $ backend_t $ block_t $ pool_t $ domains_t
+      $ queries_file_t $ verbose_t)
 
 (* ---------------- save / open / recover ---------------- *)
 
@@ -710,6 +821,116 @@ let verify_cmd =
           exact on integer coordinates)")
     Term.(const verify $ file_t)
 
+(* ---------------- serve / ping / shutdown ---------------- *)
+
+let serve file addr backend block domains queue_depth deadline_ms no_obs =
+  if not no_obs then Obs.Control.enable ();
+  let db = Server.open_or_build ~backend ~block file in
+  let srv = Server.create ~domains ~queue_depth ~deadline_ms ~db addr in
+  let on_signal _ = Server.stop srv in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* the bound address goes out flushed so scripts can scrape a
+     kernel-assigned port before the first client connects *)
+  Printf.printf "serving %s on %s: backend %s, %d segments, %d domains (queue %d, deadline %dms)\n%!"
+    file
+    (Server.addr_to_string (Server.bound_addr srv))
+    (Db.backend_name db) (Db.size db) domains queue_depth deadline_ms;
+  Server.run srv;
+  Printf.printf "drained: %d requests served\n"
+    (Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default "net.requests"));
+  0
+
+let serve_addr_t =
+  Arg.(
+    value
+    & opt addr_conv (Server.Tcp ("127.0.0.1", 0))
+    & info [ "addr"; "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: $(i,HOST:PORT) or $(i,unix:PATH). Port 0 (the default) asks \
+           the kernel for a free port; the bound address is printed on startup.")
+
+let serve_domains_t =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains answering queries.")
+
+let queue_depth_t =
+  Arg.(
+    value & opt int 128
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Bound on queued requests; past it the server answers $(i,overloaded) instead \
+           of buffering without limit.")
+
+let deadline_ms_t =
+  Arg.(
+    value & opt int 5000
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request budget from the moment it is queued; a request still waiting past \
+           it is answered $(i,deadline exceeded) without being executed (0 disables).")
+
+let no_obs_t =
+  Arg.(
+    value & flag
+    & info [ "no-obs" ]
+        ~doc:
+          "Leave observability off (it is enabled by default when serving, so the \
+           $(i,stats) frame has something to report).")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "serve a segment file or snapshot over the binary wire protocol: an accept \
+          loop feeds a bounded queue drained by worker domains with private read \
+          contexts; SIGTERM/SIGINT or a $(i,shutdown) frame drains gracefully")
+    Term.(
+      const serve $ file_t $ serve_addr_t $ backend_t $ block_t $ serve_domains_t
+      $ queue_depth_t $ deadline_ms_t $ no_obs_t)
+
+let server_pos_t =
+  Arg.(
+    required
+    & pos 0 (some addr_conv) None
+    & info [] ~docv:"ADDR" ~doc:"Server address: $(i,HOST:PORT) or $(i,unix:PATH).")
+
+let ping_server addr count =
+  with_client addr (fun c ->
+      for _ = 1 to max 1 count do
+        let t0 = Unix.gettimeofday () in
+        Client.ping c;
+        Printf.printf "pong from %s in %.2fms\n"
+          (Server.addr_to_string addr)
+          ((Unix.gettimeofday () -. t0) *. 1e3)
+      done;
+      0)
+
+let ping_count_t =
+  Arg.(value & opt int 1 & info [ "count"; "c" ] ~docv:"N" ~doc:"Number of pings.")
+
+let ping_cmd =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"round-trip a ping frame against a running server")
+    Term.(const ping_server $ server_pos_t $ ping_count_t)
+
+let shutdown_server addr =
+  with_client addr (fun c ->
+      Client.shutdown c;
+      Printf.printf "server at %s draining\n" (Server.addr_to_string addr);
+      0)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:
+         "send a shutdown frame: the server stops accepting, answers what is queued, \
+          and exits")
+    Term.(const shutdown_server $ server_pos_t)
+
 (* ---------------- main ---------------- *)
 
 let main_cmd =
@@ -727,6 +948,9 @@ let main_cmd =
       scrub_cmd;
       repair_cmd;
       verify_cmd;
+      serve_cmd;
+      ping_cmd;
+      shutdown_cmd;
     ]
 
 let () =

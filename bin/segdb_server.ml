@@ -1,0 +1,123 @@
+(* segdb_server — the standalone serving binary.
+
+   Serves one database (a text segment file or a snapshot, detected by
+   magic) over the binary wire protocol on TCP or a Unix socket. The
+   accept loop feeds a bounded queue drained by worker domains, each
+   with a private read context; SIGTERM/SIGINT or a client shutdown
+   frame drains gracefully.
+
+     segdb_server roads.seg --addr 127.0.0.1:4090 --domains 4
+     segdb_server roads.snap --addr unix:/tmp/segdb.sock
+
+   Fault injection: SEGDB_FAILPOINTS is honoured, e.g.
+     SEGDB_FAILPOINTS="net.write=torn@20" segdb_server roads.seg       *)
+
+open Cmdliner
+module Db = Segdb_core.Segdb
+module Server = Segdb_net.Server
+module Obs = Segdb_obs
+module Failpoint = Segdb_io.Failpoint
+
+let serve file addr backend block domains queue_depth deadline_ms no_obs =
+  if not no_obs then Obs.Control.enable ();
+  let db = Server.open_or_build ~backend ~block file in
+  let srv = Server.create ~domains ~queue_depth ~deadline_ms ~db addr in
+  let on_signal _ = Server.stop srv in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  Printf.printf "serving %s on %s: backend %s, %d segments, %d domains (queue %d, deadline %dms)\n%!"
+    file
+    (Server.addr_to_string (Server.bound_addr srv))
+    (Db.backend_name db) (Db.size db) domains queue_depth deadline_ms;
+  Server.run srv;
+  Printf.printf "drained: %d requests served\n"
+    (Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default "net.requests"));
+  0
+
+let addr_conv =
+  let parse s =
+    match Server.addr_of_string s with Ok a -> Ok a | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Server.pp_addr)
+
+let file_t =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Segment file or snapshot (detected by magic).")
+
+let addr_t =
+  Arg.(
+    value
+    & opt addr_conv (Server.Tcp ("127.0.0.1", 0))
+    & info [ "addr"; "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: $(i,HOST:PORT) or $(i,unix:PATH). Port 0 (the default) asks \
+           the kernel for a free port; the bound address is printed on startup.")
+
+let backend_conv =
+  let parse s =
+    match Db.backend_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (expected one of: %s)" s
+               (String.concat ", " (List.map fst Db.all_backends))))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf (List.find (fun (_, b') -> b' = b) Db.all_backends |> fst)
+  in
+  Arg.conv (parse, print)
+
+let backend_t =
+  Arg.(
+    value
+    & opt backend_conv `Solution2
+    & info [ "backend" ] ~docv:"NAME" ~doc:"Index backend (for text segment files).")
+
+let block_t =
+  Arg.(value & opt int 64 & info [ "block"; "B" ] ~docv:"B" ~doc:"Items per disk block.")
+
+let domains_t =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains answering queries.")
+
+let queue_depth_t =
+  Arg.(
+    value & opt int 128
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Bound on queued requests; past it the server answers $(i,overloaded) instead \
+           of buffering without limit.")
+
+let deadline_ms_t =
+  Arg.(
+    value & opt int 5000
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request budget from the moment it is queued; a request still waiting past \
+           it is answered $(i,deadline exceeded) without being executed (0 disables).")
+
+let no_obs_t =
+  Arg.(
+    value & flag
+    & info [ "no-obs" ]
+        ~doc:
+          "Leave observability off (it is enabled by default, so the $(i,stats) frame \
+           has something to report).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "segdb_server"
+       ~doc:"serve a segment database over the binary wire protocol")
+    Term.(
+      const serve $ file_t $ addr_t $ backend_t $ block_t $ domains_t $ queue_depth_t
+      $ deadline_ms_t $ no_obs_t)
+
+let () =
+  Failpoint.arm_from_env ();
+  exit (Cmd.eval' cmd)

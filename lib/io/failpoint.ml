@@ -255,6 +255,89 @@ module Io = struct
   let pwrite fd ~off buf = write_from fd ~off buf
   let write_all ?site fd ~off buf = write_from ?site fd ~off buf
 
+  (* ---------------- socket wrappers ----------------
+
+     Streams have no offset to rewind to, so the torn-write shape
+     changes meaning: on a file, [Torn] models the process dying
+     mid-write (Injected_crash); on a socket it models the *connection*
+     dying mid-frame — a strict prefix reaches the wire and then the
+     peer sees a reset. The process survives; the caller's job is to
+     close the connection and let the other side retry. *)
+
+  let sp_net_read = site "net.read"
+  let sp_net_write = site "net.write"
+
+  let recv fd buf ~pos ~len =
+    let post = ref None in
+    let n =
+      retrying (fun () ->
+          post := None;
+          (match fire sp_net_read with
+          | Some Crash -> raise (Injected_crash "net.read")
+          | Some Eio -> raise (injected_eio "net.read")
+          | Some ((Short | Bit_flip | Torn) as a) -> post := Some a
+          | None -> ());
+          Unix.read fd buf pos len)
+    in
+    match !post with
+    | Some (Short | Torn) -> prefix_of n
+    | Some Bit_flip ->
+        if n > 0 then begin
+          let r = rng () in
+          let i = pos + Rng.int r n in
+          Bytes.set buf i
+            (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl Rng.int r 8)))
+        end;
+        n
+    | _ -> n
+
+  let send_all fd buf ~pos ~len =
+    let limit = pos + len in
+    let put = ref pos in
+    let stalls = ref 0 in
+    while !put < limit do
+      let n =
+        retrying (fun () ->
+            match fire sp_net_write with
+            | Some Crash -> raise (Injected_crash "net.write")
+            | Some Eio -> raise (injected_eio "net.write")
+            | Some Torn ->
+                (* a strict prefix of the frame reaches the wire, then
+                   the connection is torn down under the writer *)
+                let k = prefix_of (limit - !put) in
+                let sent = ref 0 in
+                while !sent < k do
+                  sent := !sent + Unix.write fd buf (!put + !sent) (k - !sent)
+                done;
+                raise
+                  (Unix.Unix_error (Unix.ECONNRESET, "net.write", "torn frame (injected)"))
+            | Some Short ->
+                (* partial transfer: perfectly legal on a socket, the
+                   outer loop just continues from where it got *)
+                Unix.write fd buf !put (prefix_of (limit - !put))
+            | Some Bit_flip ->
+                (* corrupt one bit of what is about to hit the wire;
+                   the peer's frame CRC must catch it *)
+                if limit - !put > 0 then begin
+                  let r = rng () in
+                  let i = !put + Rng.int r (limit - !put) in
+                  Bytes.set buf i
+                    (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl Rng.int r 8)))
+                end;
+                Unix.write fd buf !put (limit - !put)
+            | None -> Unix.write fd buf !put (limit - !put))
+      in
+      if n = 0 then begin
+        incr stalls;
+        if !stalls > max_stalled_writes then
+          raise (Unix.Unix_error (Unix.EPIPE, "net.write", "persistent zero-byte write"))
+      end
+      else begin
+        stalls := 0;
+        put := !put + n
+      end
+    done
+
   let fsync ?(site = sp_fsync) fd =
     retrying (fun () ->
         (match fire site with

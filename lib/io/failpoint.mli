@@ -115,4 +115,26 @@ module Io : sig
 
   val fsync : ?site:site -> Unix.file_descr -> unit
   (** Site: [fsync] unless overridden. *)
+
+  (** {2 Socket wrappers}
+
+      The same retry discipline over a stream, for the network serving
+      layer ({!Segdb_net}). Streams cannot re-seek, so [Torn] changes
+      meaning: instead of a crash cut it models the {e connection}
+      dying mid-frame — a strict prefix reaches the wire, then the
+      writer sees [ECONNRESET]. The process survives; the peer observes
+      a truncated or CRC-mismatched frame and retries. *)
+
+  val recv : Unix.file_descr -> Bytes.t -> pos:int -> len:int -> int
+  (** One [read(2)] into [buf.(pos..pos+len)], returning the byte count
+      ([0] at end-of-stream). [EINTR]/[EAGAIN] retried, [EIO] bounded.
+      Injected [Short]/[Torn] truncate the result to a strict prefix;
+      [Bit_flip] corrupts one received bit (caught by the frame CRC).
+      Site: [net.read]. *)
+
+  val send_all : Unix.file_descr -> Bytes.t -> pos:int -> len:int -> unit
+  (** Writes the whole range, looping over partial transfers. Injected
+      [Short] caps one transfer (the loop continues — legal socket
+      behaviour); [Bit_flip] corrupts one outgoing bit; [Torn] sends a
+      strict prefix and raises [ECONNRESET]. Site: [net.write]. *)
 end

@@ -1,0 +1,182 @@
+module Db = Segdb_core.Segdb
+module Metrics = Segdb_obs.Metrics
+module Control = Segdb_obs.Control
+
+exception Error of string
+
+type t = {
+  addr : Server.addr;
+  retries : int;
+  backoff_ms : int;
+  timeout : float option;
+  mutable fd : Unix.file_descr option;
+}
+
+let c_io_retries = Metrics.counter Metrics.default "io.retries"
+let c_net_retries = Metrics.counter Metrics.default "net.client.retries"
+
+let count_retry () =
+  if Control.enabled () then begin
+    Metrics.incr c_io_retries;
+    Metrics.incr c_net_retries
+  end
+
+let backoff t attempt =
+  count_retry ();
+  Unix.sleepf (float_of_int (t.backoff_ms * (1 lsl min attempt 10)) /. 1000.0)
+
+(* A transport error anywhere mid-exchange leaves the stream possibly
+   desynchronized; the only safe recovery is a fresh connection. *)
+let drop t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+let close = drop
+
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE | Unix.ENOENT
+  | Unix.EIO | Unix.ETIMEDOUT | Unix.ENETUNREACH | Unix.EHOSTUNREACH ->
+      true
+  | _ -> false
+
+let sockaddr_of = function
+  | Server.Unix_path p -> Unix.ADDR_UNIX p
+  | Server.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let connect_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+      let sa = sockaddr_of t.addr in
+      let dom =
+        match sa with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | Unix.ADDR_INET _ -> Unix.PF_INET
+      in
+      let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd sa;
+         (match t.addr with
+         | Server.Tcp _ -> (
+             try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+         | Server.Unix_path _ -> ())
+       with e ->
+         (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+         raise e);
+      t.fd <- Some fd;
+      fd
+
+type attempt =
+  | Answer of Wire.response
+  | Retry of string  (** transient; connection already dropped if suspect *)
+
+let attempt_rpc t req =
+  match
+    let fd = connect_fd t in
+    Wire.send fd (Wire.encode_request req);
+    Wire.recv ?timeout:t.timeout fd
+  with
+  | Result.Ok payload -> (
+      match Wire.decode_response payload with
+      | Result.Ok (Wire.Error ((Wire.Overloaded | Wire.Corrupt_frame) as code, msg)) ->
+          (* Corrupt_frame means the server saw damage on this stream
+             and will close it — reconnect rather than race the close *)
+          if code = Wire.Corrupt_frame then drop t;
+          Retry (Wire.error_code_to_string code ^ ": " ^ msg)
+      | Result.Ok resp -> Answer resp
+      | Result.Error e ->
+          drop t;
+          Retry (Wire.protocol_error_to_string e))
+  | Result.Error e ->
+      drop t;
+      Retry (Wire.protocol_error_to_string e)
+  | exception Unix.Unix_error (code, fn, _) when transient code ->
+      drop t;
+      Retry (Printf.sprintf "%s: %s" fn (Unix.error_message code))
+
+let rpc t req =
+  let rec go attempt =
+    match attempt_rpc t req with
+    | Answer resp -> resp
+    | Retry why ->
+        if attempt >= t.retries then
+          raise
+            (Error
+               (Printf.sprintf "%s: giving up after %d attempts (%s)"
+                  (Server.addr_to_string t.addr) (attempt + 1) why));
+        backoff t attempt;
+        go (attempt + 1)
+  in
+  go 0
+
+let connect ?(retries = 4) ?(backoff_ms = 10) ?(timeout_ms = 5000) addr =
+  let t =
+    {
+      addr;
+      retries = max 0 retries;
+      backoff_ms = max 1 backoff_ms;
+      timeout = (if timeout_ms <= 0 then None else Some (float_of_int timeout_ms /. 1000.0));
+      fd = None;
+    }
+  in
+  let rec go attempt =
+    match connect_fd t with
+    | _ -> ()
+    | exception Unix.Unix_error (code, _, _) when transient code ->
+        if attempt >= t.retries then
+          raise
+            (Error
+               (Printf.sprintf "%s: connect failed after %d attempts (%s)"
+                  (Server.addr_to_string addr) (attempt + 1) (Unix.error_message code)));
+        backoff t attempt;
+        go (attempt + 1)
+  in
+  go 0;
+  t
+
+let unexpected what resp =
+  let got =
+    match resp with
+    | Wire.Error (code, msg) -> Wire.error_code_to_string code ^ ": " ^ msg
+    | Wire.Pong -> "pong"
+    | Wire.Ids _ -> "ids"
+    | Wire.Counted _ -> "count"
+    | Wire.Batch_ids _ -> "batch ids"
+    | Wire.Stats_payload _ -> "stats"
+    | Wire.Shutdown_ack -> "shutdown ack"
+  in
+  raise (Error (Printf.sprintf "expected %s, got %s" what got))
+
+let ping t = match rpc t Wire.Ping with Wire.Pong -> () | r -> unexpected "pong" r
+
+let query t q =
+  match rpc t (Wire.Query q) with
+  | Wire.Ids { ids; complete; faults } ->
+      { Db.Degraded.value = ids; complete; faults }
+  | r -> unexpected "ids" r
+
+let count t q =
+  match rpc t (Wire.Count q) with Wire.Counted n -> n | r -> unexpected "count" r
+
+let batch t qs =
+  match rpc t (Wire.Batch qs) with
+  | Wire.Batch_ids { results; complete; faults } ->
+      { Db.Degraded.value = results; complete; faults }
+  | r -> unexpected "batch ids" r
+
+let stats t fmt =
+  match rpc t (Wire.Stats fmt) with
+  | Wire.Stats_payload s -> s
+  | r -> unexpected "stats" r
+
+let shutdown t =
+  match rpc t Wire.Shutdown with Wire.Shutdown_ack -> () | r -> unexpected "shutdown ack" r

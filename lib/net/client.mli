@@ -1,0 +1,53 @@
+(** A blocking client with bounded retry.
+
+    Queries are read-only, so every request the protocol carries is
+    safe to replay; the client therefore treats the whole transient
+    family — connection refused/reset, broken pipe, timeouts, framing
+    damage ({!Wire.protocol_error} on the response stream), and the
+    server's own [Overloaded]/[Corrupt_frame] answers — uniformly:
+    drop the connection if it is suspect, back off exponentially,
+    reconnect, replay. The policy mirrors [Failpoint.Io]'s bounded
+    retry-with-backoff, and each replay bumps the same [io.retries]
+    counter (plus [net.client.retries]) when observability is on.
+
+    Definitive answers — results, [Bad_request], [Deadline],
+    [Shutting_down], [Server_error] — are never retried. *)
+
+module Db := Segdb_core.Segdb
+open Segdb_geom
+
+type t
+
+exception Error of string
+(** Retries exhausted, or the server answered with a non-transient
+    error. *)
+
+val connect :
+  ?retries:int -> ?backoff_ms:int -> ?timeout_ms:int -> Server.addr -> t
+(** Connects eagerly, retrying refused connections (a server still
+    binding is a transient condition too). [retries] bounds replays
+    {e per request} (default 4), [backoff_ms] seeds the exponential
+    backoff (default 10), [timeout_ms] bounds each response wait
+    (default 5000; 0 disables). *)
+
+val rpc : t -> Wire.request -> Wire.response
+(** One request, retried per the policy above. Raises {!Error} when
+    retries are exhausted. The typed helpers below are this plus
+    unwrapping. *)
+
+val ping : t -> unit
+
+val query : t -> Vquery.t -> int list Db.Degraded.t
+(** Sorted ids; completeness/faults as reported by the server. *)
+
+val count : t -> Vquery.t -> int
+
+val batch : t -> Vquery.t array -> int list array Db.Degraded.t
+(** Element [i] is exactly what in-process [Segdb.query_ids] on query
+    [i] would return. *)
+
+val stats : t -> [ `Text | `Json | `Prometheus ] -> string
+val shutdown : t -> unit
+
+val close : t -> unit
+(** Idempotent. *)

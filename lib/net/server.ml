@@ -1,0 +1,377 @@
+module Db = Segdb_core.Segdb
+module Seg_file = Segdb_core.Seg_file
+module Failpoint = Segdb_io.Failpoint
+module Metrics = Segdb_obs.Metrics
+module Control = Segdb_obs.Control
+module Trace = Segdb_obs.Trace
+module Export = Segdb_obs.Export
+
+(* ---------------- addresses ---------------- *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+let addr_of_string s =
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Result.Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.contains s '/' then Result.Ok (Unix_path s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Result.Error (Printf.sprintf "%S: expected HOST:PORT or unix:PATH" s)
+    | Some i -> (
+        let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 ->
+            Result.Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Result.Error (Printf.sprintf "%S: bad port" s))
+
+let addr_to_string = function
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+  | Unix_path p -> "unix:" ^ p
+
+let pp_addr ppf a = Format.pp_print_string ppf (addr_to_string a)
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+      in
+      Unix.ADDR_INET (ip, port)
+
+(* ---------------- connections and jobs ---------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  mutable inbuf : string;  (** bytes received, not yet framed *)
+  wlock : Mutex.t;  (** serializes frame writes (workers + accept loop) *)
+  pending : int Atomic.t;  (** queued jobs still owing a response *)
+  closing : bool Atomic.t;  (** reaped by the accept loop once [pending] drains *)
+}
+
+type job = { jconn : conn; req : Wire.request; enqueued_ns : int }
+
+type t = {
+  db : Db.t;
+  lfd : Unix.file_descr;
+  bound : addr;
+  domains : int;
+  queue_depth : int;
+  deadline_ns : int;  (** 0 disables *)
+  cache_blocks : int option;
+  q : job Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  stopping : bool Atomic.t;
+  mutable runner : unit Domain.t option;
+  (* metric handles, resolved once *)
+  m_requests : Metrics.counter;
+  m_bytes_in : Metrics.counter;
+  m_bytes_out : Metrics.counter;
+  g_depth : Metrics.gauge;
+}
+
+let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_blocks ~db addr =
+  let sa = sockaddr_of addr in
+  (match addr with
+  | Unix_path p when Sys.file_exists p && (Unix.stat p).Unix.st_kind = Unix.S_SOCK ->
+      (* a stale socket from a dead server; a live one fails at bind *)
+      Unix.unlink p
+  | _ -> ());
+  let dom = match sa with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | Unix.ADDR_INET _ -> Unix.PF_INET in
+  let lfd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with Tcp _ -> Unix.setsockopt lfd Unix.SO_REUSEADDR true | Unix_path _ -> ());
+     Unix.bind lfd sa;
+     Unix.listen lfd 64
+   with e ->
+     Unix.close lfd;
+     raise e);
+  let bound =
+    match (addr, Unix.getsockname lfd) with
+    | Tcp (h, _), Unix.ADDR_INET (_, p) -> Tcp (h, p)
+    | a, _ -> a
+  in
+  let reg = Metrics.default in
+  {
+    db;
+    lfd;
+    bound;
+    domains = max 1 domains;
+    queue_depth = max 0 queue_depth;
+    deadline_ns = max 0 deadline_ms * 1_000_000;
+    cache_blocks;
+    q = Queue.create ();
+    qm = Mutex.create ();
+    qc = Condition.create ();
+    stopping = Atomic.make false;
+    runner = None;
+    m_requests = Metrics.counter reg "net.requests";
+    m_bytes_in = Metrics.counter reg "net.bytes_in";
+    m_bytes_out = Metrics.counter reg "net.bytes_out";
+    g_depth = Metrics.gauge reg "net.queue_depth";
+  }
+
+let bound_addr t = t.bound
+let stop t = Atomic.set t.stopping true
+
+(* ---------------- responses ---------------- *)
+
+(* A failed write means the peer is gone: mark the connection for
+   reaping rather than raising into whoever answered. *)
+let respond t conn resp =
+  let s = Wire.encode_response resp in
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () ->
+      match Wire.send conn.fd s with
+      | () -> if Control.enabled () then Metrics.add t.m_bytes_out (String.length s)
+      | exception Unix.Unix_error (_, _, _) -> Atomic.set conn.closing true)
+
+(* ---------------- request execution (worker side) ---------------- *)
+
+let sorted_ids segs = List.sort_uniq compare (List.map (fun s -> s.Segdb_geom.Segment.id) segs)
+
+let stats_payload t fmt =
+  let reg = Metrics.default in
+  match fmt with
+  | `Text -> Export.text reg
+  | `Json -> Export.json reg
+  | `Prometheus -> Export.prometheus ~labels:[ ("addr", addr_to_string t.bound) ] reg
+
+let exec t reader req =
+  match req with
+  | Wire.Ping -> Wire.Pong
+  | Wire.Shutdown -> Wire.Shutdown_ack
+  | Wire.Stats fmt -> Wire.Stats_payload (stats_payload t fmt)
+  | Wire.Count q -> Wire.Counted (Db.count_r t.db reader q)
+  | Wire.Query q ->
+      let d = Db.with_reader reader (fun () -> Db.query_safe t.db q) in
+      Wire.Ids
+        { ids = sorted_ids d.Db.Degraded.value; complete = d.Db.Degraded.complete; faults = d.Db.Degraded.faults }
+  | Wire.Batch qs ->
+      let faults = ref [] in
+      let results =
+        Db.with_reader reader (fun () ->
+            Array.map
+              (fun q ->
+                let d = Db.query_safe t.db q in
+                faults := List.rev_append d.Db.Degraded.faults !faults;
+                sorted_ids d.Db.Degraded.value)
+              qs)
+      in
+      let faults = List.rev !faults in
+      Wire.Batch_ids { results; complete = faults = []; faults }
+
+let process t reader job =
+  let resp =
+    if t.deadline_ns > 0 && Trace.now_ns () - job.enqueued_ns > t.deadline_ns then
+      Wire.Error (Wire.Deadline, Printf.sprintf "queued past %dms" (t.deadline_ns / 1_000_000))
+    else
+      try exec t reader job.req with
+      | Failpoint.Injected_crash _ as e -> raise e (* models process death *)
+      | e -> Wire.Error (Wire.Server_error, Printexc.to_string e)
+  in
+  respond t job.jconn resp;
+  if Control.enabled () then
+    Metrics.observe Metrics.default "net.request.ns" (Trace.now_ns () - job.enqueued_ns);
+  Atomic.decr job.jconn.pending
+
+let worker t () =
+  let reader = Db.reader ?cache_blocks:t.cache_blocks t.db in
+  let rec loop () =
+    Mutex.lock t.qm;
+    while Queue.is_empty t.q && not (Atomic.get t.stopping) do
+      Condition.wait t.qc t.qm
+    done;
+    match Queue.take_opt t.q with
+    | None ->
+        (* stopping and drained *)
+        Mutex.unlock t.qm
+    | Some job ->
+        if Control.enabled () then Metrics.set_gauge t.g_depth (Queue.length t.q);
+        Mutex.unlock t.qm;
+        process t reader job;
+        loop ()
+  in
+  loop ()
+
+(* ---------------- accept loop ---------------- *)
+
+let enqueue t conn req =
+  Atomic.incr conn.pending;
+  Mutex.lock t.qm;
+  let accepted = Queue.length t.q < t.queue_depth in
+  if accepted then begin
+    Queue.push { jconn = conn; req; enqueued_ns = Trace.now_ns () } t.q;
+    if Control.enabled () then Metrics.set_gauge t.g_depth (Queue.length t.q);
+    Condition.signal t.qc
+  end;
+  Mutex.unlock t.qm;
+  if not accepted then begin
+    Atomic.decr conn.pending;
+    respond t conn (Wire.Error (Wire.Overloaded, "request queue full"))
+  end
+
+let dispatch t conn req =
+  if Control.enabled () then Metrics.incr t.m_requests;
+  match req with
+  | Wire.Ping -> respond t conn Wire.Pong
+  | Wire.Shutdown ->
+      respond t conn Wire.Shutdown_ack;
+      stop t
+  | Wire.Stats fmt -> respond t conn (Wire.Stats_payload (stats_payload t fmt))
+  | Wire.Query _ | Wire.Count _ | Wire.Batch _ ->
+      if Atomic.get t.stopping then respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
+      else enqueue t conn req
+
+(* Peel complete frames off [conn.inbuf]. Framing damage (oversized
+   header, CRC mismatch) means the stream can no longer be trusted:
+   answer [Corrupt_frame] and close. A frame that is intact but does
+   not decode is the client's problem alone: [Bad_request], stream
+   stays up. *)
+let parse_frames t conn =
+  let continue = ref true in
+  while !continue && not (Atomic.get conn.closing) do
+    let buf = conn.inbuf in
+    let have = String.length buf in
+    if have < Wire.header_bytes then continue := false
+    else
+      match Wire.decode_header (String.sub buf 0 Wire.header_bytes) with
+      | Result.Error e ->
+          respond t conn (Wire.Error (Wire.Corrupt_frame, Wire.protocol_error_to_string e));
+          Atomic.set conn.closing true
+      | Result.Ok (len, crc) ->
+          if have < Wire.header_bytes + len then continue := false
+          else begin
+            let payload = String.sub buf Wire.header_bytes len in
+            conn.inbuf <-
+              String.sub buf (Wire.header_bytes + len) (have - Wire.header_bytes - len);
+            match Wire.check_payload ~crc payload with
+            | Result.Error e ->
+                respond t conn (Wire.Error (Wire.Corrupt_frame, Wire.protocol_error_to_string e));
+                Atomic.set conn.closing true
+            | Result.Ok payload -> (
+                match Wire.decode_request payload with
+                | Result.Error e ->
+                    respond t conn
+                      (Wire.Error (Wire.Bad_request, Wire.protocol_error_to_string e))
+                | Result.Ok req -> dispatch t conn req)
+          end
+  done
+
+let read_chunk t conn =
+  let buf = Bytes.create 65536 in
+  match Failpoint.Io.recv conn.fd buf ~pos:0 ~len:(Bytes.length buf) with
+  | 0 -> Atomic.set conn.closing true
+  | n ->
+      if Control.enabled () then Metrics.add t.m_bytes_in n;
+      conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
+      parse_frames t conn
+  | exception Unix.Unix_error (_, _, _) -> Atomic.set conn.closing true
+
+let peer_string fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX _ -> "unix"
+  | exception Unix.Unix_error (_, _, _) -> "?"
+
+let accept_conn t conns =
+  match Unix.accept t.lfd with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd, _ ->
+      (match t.bound with
+      | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+      | Unix_path _ -> ());
+      conns :=
+        {
+          fd;
+          peer = peer_string fd;
+          inbuf = "";
+          wlock = Mutex.create ();
+          pending = Atomic.make 0;
+          closing = Atomic.make false;
+        }
+        :: !conns
+
+(* Close connections marked [closing] whose queued jobs have all
+   answered — deferring the close keeps worker writes off a reused fd. *)
+let reap conns =
+  let dead, live =
+    List.partition (fun c -> Atomic.get c.closing && Atomic.get c.pending = 0) !conns
+  in
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()) dead;
+  conns := live
+
+let run t =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let workers = List.init t.domains (fun _ -> Domain.spawn (worker t)) in
+  let conns = ref [] in
+  (* serve *)
+  while not (Atomic.get t.stopping) do
+    let rfds = t.lfd :: List.map (fun c -> c.fd) !conns in
+    (match Unix.select rfds [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.lfd then accept_conn t conns
+            else
+              match List.find_opt (fun c -> c.fd = fd) !conns with
+              | Some c when not (Atomic.get c.closing) -> read_chunk t c
+              | _ -> ())
+          ready);
+    reap conns
+  done;
+  (* drain: no new connections or requests; answer what is queued *)
+  (try Unix.close t.lfd with Unix.Unix_error (_, _, _) -> ());
+  let drained () =
+    Mutex.lock t.qm;
+    let e = Queue.is_empty t.q in
+    Mutex.unlock t.qm;
+    e && List.for_all (fun c -> Atomic.get c.pending = 0) !conns
+  in
+  while not (drained ()) do
+    Mutex.lock t.qm;
+    Condition.broadcast t.qc;
+    Mutex.unlock t.qm;
+    Unix.sleepf 0.002
+  done;
+  Mutex.lock t.qm;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm;
+  List.iter Domain.join workers;
+  List.iter (fun c -> Atomic.set c.closing true) !conns;
+  List.iter (fun c -> Atomic.set c.pending 0) !conns;
+  reap conns;
+  match t.bound with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let start t = t.runner <- Some (Domain.spawn (fun () -> run t))
+
+let wait t =
+  match t.runner with
+  | None -> ()
+  | Some d ->
+      t.runner <- None;
+      Domain.join d
+
+(* ---------------- db loading ---------------- *)
+
+let sniff_magic path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> try really_input_string ic 8 with End_of_file -> "")
+
+let open_or_build ?(backend = `Solution2) ?(block = 64) path =
+  if sniff_magic path = "SEGDBSNP" then Db.open_db path
+  else Db.create ~backend ~block (Seg_file.load path)

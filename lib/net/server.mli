@@ -1,0 +1,83 @@
+(** The serving layer: a TCP / Unix-domain socket server over one
+    database.
+
+    Architecture: one {e accept loop} (the domain that calls {!run})
+    multiplexes the listen socket and every live connection with
+    [select], peels complete frames off per-connection buffers, and
+    feeds a {e bounded request queue}; [domains] {e worker domains}
+    drain the queue, each answering through its own private
+    {!Segdb_core.Segdb.reader} (the same per-domain read-context
+    discipline as [Segdb.parallel_query]), executing queries via
+    [query_safe] so storage faults degrade answers instead of killing
+    connections.
+
+    Backpressure is explicit: when the queue is full the accept loop
+    answers [Error Overloaded] immediately instead of buffering without
+    bound. Each request carries a deadline from the moment it is
+    enqueued; a request that is still queued past its deadline is
+    answered [Error Deadline] without being executed. A [Shutdown]
+    frame (or {!stop}, which is what the SIGTERM handler of
+    [segdb_server] calls) drains gracefully: accepting stops, queued
+    requests are answered, then every connection is closed and {!run}
+    returns.
+
+    Instrumentation (under {!Segdb_obs.Control.enabled}): [net.requests],
+    [net.bytes_in], [net.bytes_out] counters, the [net.queue_depth]
+    gauge, and the [net.request.ns] histogram. *)
+
+module Db := Segdb_core.Segdb
+
+type addr = Tcp of string * int | Unix_path of string
+
+val addr_of_string : string -> (addr, string) result
+(** ["HOST:PORT"] or ["unix:PATH"]; a bare path containing ['/'] is
+    also taken as a Unix socket. *)
+
+val addr_to_string : addr -> string
+val pp_addr : Format.formatter -> addr -> unit
+
+type t
+
+val create :
+  ?domains:int ->
+  ?queue_depth:int ->
+  ?deadline_ms:int ->
+  ?cache_blocks:int ->
+  db:Db.t ->
+  addr ->
+  t
+(** Binds and listens immediately (so {!bound_addr} is final before any
+    worker starts). [domains] worker domains (default 2, min 1),
+    [queue_depth] bounds the request queue (default 128; 0 refuses all
+    queued work — useful to test backpressure), [deadline_ms] is the
+    per-request budget from enqueue (default 5000; 0 disables),
+    [cache_blocks] sizes each worker reader's private LRU shard.
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val bound_addr : t -> addr
+(** The actual listening address — the kernel-chosen port when the TCP
+    address was given port 0. *)
+
+val run : t -> unit
+(** Serve until a [Shutdown] frame arrives or {!stop} is called; the
+    calling domain becomes the accept loop. Worker domains are spawned
+    on entry and joined before returning; every connection is closed
+    and (for Unix sockets) the path unlinked. *)
+
+val start : t -> unit
+(** {!run} in a background domain — for in-process loopback use (tests,
+    bench, the CLI's own client against itself). *)
+
+val stop : t -> unit
+(** Request a graceful drain. Async-signal-safe: only flips an atomic;
+    the accept loop notices within its select tick. *)
+
+val wait : t -> unit
+(** Join a server started with {!start} (returns immediately if {!run}
+    already returned). *)
+
+val open_or_build : ?backend:Db.backend -> ?block:int -> string -> Db.t
+(** Load a database for serving: a file with the snapshot magic is
+    reopened via [Db.open_db], anything else is parsed as a text
+    segment file and indexed with [backend]/[block] (defaults:
+    [`Solution2], 64). Shared by [segdb_server] and [segdb_cli serve]. *)

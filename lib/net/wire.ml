@@ -1,0 +1,275 @@
+open Segdb_geom
+module Codec = Segdb_io.Codec
+module Crc = Segdb_io.Crc
+module Failpoint = Segdb_io.Failpoint
+
+type request =
+  | Ping
+  | Query of Vquery.t
+  | Count of Vquery.t
+  | Batch of Vquery.t array
+  | Stats of [ `Text | `Json | `Prometheus ]
+  | Shutdown
+
+type error_code =
+  | Overloaded
+  | Deadline
+  | Bad_request
+  | Corrupt_frame
+  | Server_error
+  | Shutting_down
+
+type response =
+  | Pong
+  | Ids of { ids : int list; complete : bool; faults : string list }
+  | Counted of int
+  | Batch_ids of { results : int list array; complete : bool; faults : string list }
+  | Stats_payload of string
+  | Error of error_code * string
+  | Shutdown_ack
+
+type protocol_error =
+  | Truncated
+  | Oversized of int
+  | Crc_mismatch
+  | Unknown_tag of int
+  | Malformed of string
+
+let max_frame = 1 lsl 24
+let header_bytes = 8
+
+let protocol_error_to_string = function
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes > %d max)" n max_frame
+  | Crc_mismatch -> "frame CRC mismatch"
+  | Unknown_tag t -> Printf.sprintf "unknown frame tag %d" t
+  | Malformed m -> "malformed frame body: " ^ m
+
+let pp_protocol_error ppf e = Format.pp_print_string ppf (protocol_error_to_string e)
+
+let error_code_to_string = function
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline exceeded"
+  | Bad_request -> "bad request"
+  | Corrupt_frame -> "corrupt frame"
+  | Server_error -> "server error"
+  | Shutting_down -> "shutting down"
+
+(* ---------------- payload codecs ---------------- *)
+
+(* A query is three f64s; the infinite bounds of rays and lines travel
+   as IEEE infinities, and decode re-routes through the matching
+   [Vquery] constructor so the round-trip is exact. *)
+let write_vquery b (q : Vquery.t) =
+  Codec.W.f64 b q.Vquery.x;
+  Codec.W.f64 b q.Vquery.ylo;
+  Codec.W.f64 b q.Vquery.yhi
+
+let read_vquery r =
+  let x = Codec.R.f64 r in
+  let ylo = Codec.R.f64 r in
+  let yhi = Codec.R.f64 r in
+  if Float.is_nan x then raise (Codec.Corrupt "NaN query abscissa");
+  if ylo = Float.neg_infinity && yhi = Float.infinity then Vquery.line ~x
+  else if yhi = Float.infinity then Vquery.ray_up ~x ~ylo
+  else if ylo = Float.neg_infinity then Vquery.ray_down ~x ~yhi
+  else Vquery.segment ~x ~ylo ~yhi
+
+let vquery_codec : Vquery.t Codec.t = { Codec.write = write_vquery; read = read_vquery }
+let vqueries_codec = Codec.array vquery_codec
+let ids_codec = Codec.(list int)
+let faults_codec = Codec.(list string)
+let results_codec = Codec.(array (list int))
+
+let fmt_to_tag = function `Text -> 0 | `Json -> 1 | `Prometheus -> 2
+
+let fmt_of_tag = function
+  | 0 -> `Text
+  | 1 -> `Json
+  | 2 -> `Prometheus
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown stats format %d" t))
+
+let code_to_tag = function
+  | Overloaded -> 1
+  | Deadline -> 2
+  | Bad_request -> 3
+  | Corrupt_frame -> 4
+  | Server_error -> 5
+  | Shutting_down -> 6
+
+let code_of_tag = function
+  | 1 -> Overloaded
+  | 2 -> Deadline
+  | 3 -> Bad_request
+  | 4 -> Corrupt_frame
+  | 5 -> Server_error
+  | 6 -> Shutting_down
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" t))
+
+(* Request tags live below 128, response tags at or above — a stray
+   response parsed as a request (or vice versa) is an Unknown_tag, not
+   a confusion. *)
+
+let request_payload req =
+  let b = Buffer.create 64 in
+  (match req with
+  | Ping -> Codec.W.u8 b 1
+  | Query q ->
+      Codec.W.u8 b 2;
+      write_vquery b q
+  | Count q ->
+      Codec.W.u8 b 3;
+      write_vquery b q
+  | Batch qs ->
+      Codec.W.u8 b 4;
+      vqueries_codec.Codec.write b qs
+  | Stats fmt ->
+      Codec.W.u8 b 5;
+      Codec.W.u8 b (fmt_to_tag fmt)
+  | Shutdown -> Codec.W.u8 b 6);
+  Buffer.contents b
+
+let response_payload resp =
+  let b = Buffer.create 64 in
+  (match resp with
+  | Pong -> Codec.W.u8 b 128
+  | Ids { ids; complete; faults } ->
+      Codec.W.u8 b 129;
+      Codec.bool.Codec.write b complete;
+      faults_codec.Codec.write b faults;
+      ids_codec.Codec.write b ids
+  | Counted n ->
+      Codec.W.u8 b 130;
+      Codec.W.u64 b n
+  | Batch_ids { results; complete; faults } ->
+      Codec.W.u8 b 131;
+      Codec.bool.Codec.write b complete;
+      faults_codec.Codec.write b faults;
+      results_codec.Codec.write b results
+  | Stats_payload s ->
+      Codec.W.u8 b 132;
+      Codec.W.str b s
+  | Error (code, msg) ->
+      Codec.W.u8 b 133;
+      Codec.W.u8 b (code_to_tag code);
+      Codec.W.str b msg
+  | Shutdown_ack -> Codec.W.u8 b 134);
+  Buffer.contents b
+
+(* Total decoding: anything [Codec] or a [Vquery] constructor rejects
+   becomes [Malformed]; an unconsumed suffix is [Malformed] too (frame
+   boundaries are exact). *)
+let decoding payload read_body =
+  match
+    let r = Codec.R.of_string payload in
+    let tag = Codec.R.u8 r in
+    match read_body r tag with
+    | None -> Result.Error (Unknown_tag tag)
+    | Some v ->
+        if Codec.R.remaining r > 0 then
+          Result.Error
+            (Malformed (Printf.sprintf "%d trailing bytes" (Codec.R.remaining r)))
+        else Result.Ok v
+  with
+  | v -> v
+  | exception Codec.Corrupt m -> Result.Error (Malformed m)
+  | exception Invalid_argument m -> Result.Error (Malformed m)
+
+let decode_request payload =
+  decoding payload (fun r tag ->
+      match tag with
+      | 1 -> Some Ping
+      | 2 -> Some (Query (read_vquery r))
+      | 3 -> Some (Count (read_vquery r))
+      | 4 -> Some (Batch (vqueries_codec.Codec.read r))
+      | 5 -> Some (Stats (fmt_of_tag (Codec.R.u8 r)))
+      | 6 -> Some Shutdown
+      | _ -> None)
+
+let decode_response payload =
+  decoding payload (fun r tag ->
+      match tag with
+      | 128 -> Some Pong
+      | 129 ->
+          let complete = Codec.bool.Codec.read r in
+          let faults = faults_codec.Codec.read r in
+          let ids = ids_codec.Codec.read r in
+          Some (Ids { ids; complete; faults })
+      | 130 -> Some (Counted (Codec.R.u64 r))
+      | 131 ->
+          let complete = Codec.bool.Codec.read r in
+          let faults = faults_codec.Codec.read r in
+          let results = results_codec.Codec.read r in
+          Some (Batch_ids { results; complete; faults })
+      | 132 -> Some (Stats_payload (Codec.R.str r))
+      | 133 ->
+          let code = code_of_tag (Codec.R.u8 r) in
+          let msg = Codec.R.str r in
+          Some (Error (code, msg))
+      | 134 -> Some Shutdown_ack
+      | _ -> None)
+
+(* ---------------- framing ---------------- *)
+
+let frame payload =
+  let b = Buffer.create (String.length payload + header_bytes) in
+  Codec.W.u32 b (String.length payload);
+  Codec.W.u32 b (Crc.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let encode_request req = frame (request_payload req)
+let encode_response resp = frame (response_payload resp)
+
+let decode_header s =
+  let r = Codec.R.of_string s in
+  let len = Codec.R.u32 r in
+  let crc = Codec.R.u32 r in
+  if len > max_frame then Result.Error (Oversized len) else Result.Ok (len, crc)
+
+let check_payload ~crc payload =
+  if Crc.string payload = crc then Result.Ok payload else Result.Error Crc_mismatch
+
+(* ---------------- blocking fd transport ---------------- *)
+
+let send fd s =
+  (* the frame bytes are never reused, so handing the string's bytes to
+     the (possibly bit-flipping) writer is safe *)
+  Failpoint.Io.send_all fd (Bytes.of_string s) ~pos:0 ~len:(String.length s)
+
+let wait_readable fd deadline =
+  match deadline with
+  | None -> ()
+  | Some d ->
+      let rec go () =
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0.0 then raise (Unix.Unix_error (Unix.ETIMEDOUT, "net.recv", ""));
+        match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "net.recv", ""))
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+
+(* Fill [buf] up to [len]; a clean end-of-stream stops early. *)
+let recv_exact deadline fd buf ~len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    wait_readable fd deadline;
+    let n = Failpoint.Io.recv fd buf ~pos:!got ~len:(len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+let recv ?timeout fd =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let hdr = Bytes.create header_bytes in
+  if recv_exact deadline fd hdr ~len:header_bytes < header_bytes then Result.Error Truncated
+  else
+    match decode_header (Bytes.to_string hdr) with
+    | Result.Error e -> Result.Error e
+    | Result.Ok (len, crc) ->
+        let payload = Bytes.create len in
+        if recv_exact deadline fd payload ~len < len then Result.Error Truncated
+        else check_payload ~crc (Bytes.to_string payload)

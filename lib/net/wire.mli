@@ -1,0 +1,104 @@
+(** The binary wire protocol.
+
+    Every message is one {e frame}:
+
+    {v
+      len u32 | crc32(payload) u32 | payload (len bytes)
+      payload = tag u8 | body            (little-endian throughout)
+    v}
+
+    — the same length-prefix + CRC-32 discipline as the WAL's frames,
+    built on {!Segdb_io.Codec} and {!Segdb_io.Crc}. The CRC guards the
+    payload, so a flipped bit on the wire surfaces as {!Crc_mismatch}
+    rather than a garbage decode; the length prefix is bounded by
+    {!max_frame}, so a corrupted header cannot make a peer allocate or
+    wait for gigabytes.
+
+    Decoding is total: malformed input of any shape maps to a typed
+    {!protocol_error} — never an exception, never a hang. The blocking
+    fd helpers ({!send}, {!recv}) run through the [net.write]/[net.read]
+    failpoint sites, so the fault matrix covers the socket path. *)
+
+open Segdb_geom
+
+(** What a client can ask. Queries are read-only and therefore safe to
+    retry; [Shutdown] requests a graceful drain. *)
+type request =
+  | Ping
+  | Query of Vquery.t
+  | Count of Vquery.t
+  | Batch of Vquery.t array
+  | Stats of [ `Text | `Json | `Prometheus ]
+  | Shutdown
+
+(** Typed failure channel carried in {!Error} responses. The split
+    matters to the client's retry policy: [Overloaded] and
+    [Corrupt_frame] are transient (retry with backoff), the rest are
+    answers. *)
+type error_code =
+  | Overloaded  (** the bounded request queue was full — back off *)
+  | Deadline  (** the request sat past its deadline; dropped unexecuted *)
+  | Bad_request  (** a well-framed payload that does not decode *)
+  | Corrupt_frame  (** framing-level damage: CRC mismatch, truncation,
+                       oversized length — the stream is not trustworthy,
+                       the server closes it, the client should retry *)
+  | Server_error  (** the handler raised; message carries the details *)
+  | Shutting_down  (** draining; no new work accepted *)
+
+type response =
+  | Pong
+  | Ids of { ids : int list; complete : bool; faults : string list }
+      (** sorted ids; [complete]/[faults] mirror {!Segdb_core.Segdb.Degraded} *)
+  | Counted of int
+  | Batch_ids of { results : int list array; complete : bool; faults : string list }
+      (** element [i] is exactly [Segdb.query_ids db qs.(i)], sorted *)
+  | Stats_payload of string
+  | Error of error_code * string
+  | Shutdown_ack
+
+type protocol_error =
+  | Truncated  (** the stream ended mid-frame *)
+  | Oversized of int  (** length prefix beyond {!max_frame} *)
+  | Crc_mismatch
+  | Unknown_tag of int
+  | Malformed of string  (** intact frame whose body does not decode *)
+
+val max_frame : int
+(** Hard ceiling on a payload length (16 MiB). *)
+
+val header_bytes : int
+(** Frame header size: 8. *)
+
+val pp_protocol_error : Format.formatter -> protocol_error -> unit
+val protocol_error_to_string : protocol_error -> string
+val error_code_to_string : error_code -> string
+
+(** {1 Pure encode/decode} *)
+
+val encode_request : request -> string
+(** The complete frame (header + payload). *)
+
+val encode_response : response -> string
+
+val decode_request : string -> (request, protocol_error) result
+(** Over a CRC-verified payload (no header). *)
+
+val decode_response : string -> (response, protocol_error) result
+
+val decode_header : string -> (int * int, protocol_error) result
+(** [(payload_len, crc)] from the first {!header_bytes} bytes. *)
+
+val check_payload : crc:int -> string -> (string, protocol_error) result
+
+(** {1 Blocking fd transport} *)
+
+val send : Unix.file_descr -> string -> unit
+(** Writes a pre-encoded frame through {!Segdb_io.Failpoint.Io.send_all}
+    ([net.write] site). Raises [Unix.Unix_error] on connection death. *)
+
+val recv : ?timeout:float -> Unix.file_descr -> (string, protocol_error) result
+(** Reads one frame and returns its CRC-verified payload. [Truncated]
+    on end-of-stream, [Oversized]/[Crc_mismatch] per the header. With
+    [timeout] (seconds), raises [Unix.Unix_error (ETIMEDOUT, _, _)] if
+    the frame does not complete in time — the client treats that as a
+    transient transport failure. Site: [net.read]. *)

@@ -104,19 +104,41 @@ let json reg =
 
 (* ---------------- Prometheus text format ---------------- *)
 
-let prom_name name =
-  let buf = Buffer.create (String.length name + 6) in
-  Buffer.add_string buf "segdb_";
+let prom_sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let prom_name name = "segdb_" ^ prom_sanitize name
+
+(* Exposition-format escaping for label values: backslash, double
+   quote, and newline. Anything else (an address, a socket path) passes
+   through verbatim inside the quotes. *)
+let prom_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
   String.iter
     (fun c ->
       match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
-      | _ -> Buffer.add_char buf '_')
-    name;
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
   Buffer.contents buf
 
-let prometheus reg =
+let prom_labels kvs =
+  match kvs with
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> prom_sanitize k ^ "=\"" ^ prom_label_value v ^ "\"") kvs)
+      ^ "}"
+
+let prometheus ?(labels = []) reg =
   let buf = Buffer.create 4096 in
+  let base = prom_labels labels in
   let sample name typ lines =
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
     List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) lines
@@ -124,16 +146,17 @@ let prometheus reg =
   List.iter
     (fun (name, v) ->
       let n = prom_name name in
-      sample n "counter" [ Printf.sprintf "%s %d" n v ])
+      sample n "counter" [ Printf.sprintf "%s%s %d" n base v ])
     (Metrics.counters reg);
   List.iter
     (fun (name, v) ->
       let n = prom_name name in
-      sample n "gauge" [ Printf.sprintf "%s %d" n v ])
+      sample n "gauge" [ Printf.sprintf "%s%s %d" n base v ])
     (Metrics.gauges reg);
   List.iter
     (fun (name, h) ->
       let n = prom_name name in
+      let with_le le = prom_labels (labels @ [ ("le", le) ]) in
       let buckets = Histogram.buckets h in
       let top =
         (* highest non-empty bucket: emit up to there, then +Inf *)
@@ -146,11 +169,13 @@ let prometheus reg =
       for b = 0 to top do
         cum := !cum + buckets.(b);
         let _, hi = Histogram.bucket_bounds b in
-        lines := Printf.sprintf "%s_bucket{le=\"%d\"} %d" n (max 0 hi) !cum :: !lines
+        lines :=
+          Printf.sprintf "%s_bucket%s %d" n (with_le (string_of_int (max 0 hi))) !cum
+          :: !lines
       done;
-      lines := Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n (Histogram.count h) :: !lines;
-      lines := Printf.sprintf "%s_sum %d" n (Histogram.sum h) :: !lines;
-      lines := Printf.sprintf "%s_count %d" n (Histogram.count h) :: !lines;
+      lines := Printf.sprintf "%s_bucket%s %d" n (with_le "+Inf") (Histogram.count h) :: !lines;
+      lines := Printf.sprintf "%s_sum%s %d" n base (Histogram.sum h) :: !lines;
+      lines := Printf.sprintf "%s_count%s %d" n base (Histogram.count h) :: !lines;
       sample n "histogram" (List.rev !lines))
     (Metrics.histograms reg);
   Buffer.contents buf

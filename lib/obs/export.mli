@@ -9,10 +9,15 @@ val json : Metrics.t -> string
     mean/p50/p90/p99 plus the non-empty buckets as [[lo, hi, count]]
     triples. *)
 
-val prometheus : Metrics.t -> string
+val prometheus : ?labels:(string * string) list -> Metrics.t -> string
 (** Prometheus text exposition format. Names are sanitized to
     [[A-Za-z0-9_]] and prefixed [segdb_]; histograms become cumulative
-    [_bucket{le="..."}] series with [_sum] and [_count]. *)
+    [_bucket{le="..."}] series with [_sum] and [_count]. [labels] are
+    attached to every sample (the server adds its listen address this
+    way); label {e names} are sanitized like metric names and label
+    {e values} are escaped per the exposition format (backslash, double
+    quote and newline), so an arbitrary address or path cannot corrupt
+    the output. *)
 
 val trace_text : Trace.event list -> string
 (** The span dump: one line per event, indented by nesting depth. *)

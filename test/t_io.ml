@@ -865,7 +865,12 @@ let prop_fstore_flip_never_silent =
                   if i <> 2 then
                     match FS.read s2 a with
                     | v -> if v <> payload i then silent := true
-                    | exception File_store.Corrupt_store _ -> detected := true)
+                    | exception File_store.Corrupt_store _ -> detected := true
+                    | exception Invalid_argument _ ->
+                        (* the flip hit a page header: the rebuilt
+                           address map dropped the page, so the read is
+                           refused loudly — detected, not silent *)
+                        detected := true)
                 addrs;
               FS.close s2;
               (not !silent) && ((not !detected) || findings <> [])))

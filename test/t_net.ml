@@ -1,0 +1,512 @@
+(* Network layer: the wire codec (round-trip property, typed negative
+   frames, totality over arbitrary bytes), loopback serving parity
+   against the in-process engine, client retry under armed socket
+   faults, backpressure and deadlines. *)
+
+open Segdb_net
+module Codec = Segdb_io.Codec
+module Failpoint = Segdb_io.Failpoint
+module Obs = Segdb_obs
+module Metrics = Segdb_obs.Metrics
+module W = Segdb_workload.Workload
+module Rng = Segdb_util.Rng
+module Db = Segdb_core.Segdb
+module Vquery = Segdb_geom.Vquery
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let resp_name = function
+  | Wire.Pong -> "pong"
+  | Wire.Ids _ -> "ids"
+  | Wire.Counted _ -> "counted"
+  | Wire.Batch_ids _ -> "batch_ids"
+  | Wire.Stats_payload _ -> "stats_payload"
+  | Wire.Error (c, m) -> Printf.sprintf "error %s: %s" (Wire.error_code_to_string c) m
+  | Wire.Shutdown_ack -> "shutdown_ack"
+
+(* ---------------- generators ---------------- *)
+
+let gen_coord =
+  QCheck.Gen.(map (fun i -> float_of_int i /. 8.0) (int_range (-80_000) 80_000))
+
+let gen_vquery =
+  QCheck.Gen.(
+    gen_coord >>= fun x ->
+    oneof
+      [
+        return (Vquery.line ~x);
+        map (fun ylo -> Vquery.ray_up ~x ~ylo) gen_coord;
+        map (fun yhi -> Vquery.ray_down ~x ~yhi) gen_coord;
+        map2
+          (fun a b -> Vquery.segment ~x ~ylo:(Float.min a b) ~yhi:(Float.max a b))
+          gen_coord gen_coord;
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return Wire.Ping;
+        map (fun q -> Wire.Query q) gen_vquery;
+        map (fun q -> Wire.Count q) gen_vquery;
+        map (fun qs -> Wire.Batch (Array.of_list qs)) (list_size (int_bound 8) gen_vquery);
+        map (fun f -> Wire.Stats f) (oneofl [ `Text; `Json; `Prometheus ]);
+        return Wire.Shutdown;
+      ])
+
+let gen_ids = QCheck.Gen.(list_size (int_bound 16) (int_bound 1_000_000))
+let gen_text = QCheck.Gen.(string_size (int_bound 64))
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        return Wire.Pong;
+        map3
+          (fun ids complete faults -> Wire.Ids { ids; complete; faults })
+          gen_ids bool
+          (list_size (int_bound 3) gen_text);
+        map (fun n -> Wire.Counted n) (int_bound 1_000_000_000);
+        map3
+          (fun rs complete faults ->
+            Wire.Batch_ids { results = Array.of_list rs; complete; faults })
+          (list_size (int_bound 5) gen_ids)
+          bool
+          (list_size (int_bound 3) gen_text);
+        map (fun s -> Wire.Stats_payload s) gen_text;
+        map2
+          (fun c m -> Wire.Error (c, m))
+          (oneofl
+             [
+               Wire.Overloaded;
+               Wire.Deadline;
+               Wire.Bad_request;
+               Wire.Corrupt_frame;
+               Wire.Server_error;
+               Wire.Shutting_down;
+             ])
+          gen_text;
+        return Wire.Shutdown_ack;
+      ])
+
+(* ---------------- wire codec ---------------- *)
+
+(* Walk the full framing path: header decode, length check, CRC check. *)
+let payload_of_frame frame =
+  let n = String.length frame in
+  if n < Wire.header_bytes then Result.Error Wire.Truncated
+  else
+    match Wire.decode_header (String.sub frame 0 Wire.header_bytes) with
+    | Result.Error _ as e -> e
+    | Result.Ok (len, crc) ->
+        if n <> Wire.header_bytes + len then
+          Result.Error (Wire.Malformed "frame length mismatch")
+        else Wire.check_payload ~crc (String.sub frame Wire.header_bytes len)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire requests round-trip through a framed encode" ~count:500
+    (QCheck.make gen_request)
+    (fun req ->
+      match payload_of_frame (Wire.encode_request req) with
+      | Result.Ok payload -> Wire.decode_request payload = Result.Ok req
+      | Result.Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"wire responses round-trip through a framed encode" ~count:500
+    (QCheck.make gen_response)
+    (fun resp ->
+      match payload_of_frame (Wire.encode_response resp) with
+      | Result.Ok payload -> Wire.decode_response payload = Result.Ok resp
+      | Result.Error _ -> false)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode is total over arbitrary bytes" ~count:1000
+    QCheck.(string_of_size Gen.(int_bound 64))
+    (fun s ->
+      (match Wire.decode_request s with Result.Ok _ | Result.Error _ -> true)
+      && match Wire.decode_response s with Result.Ok _ | Result.Error _ -> true)
+
+let header len crc =
+  let b = Buffer.create 8 in
+  Codec.W.u32 b len;
+  Codec.W.u32 b crc;
+  Buffer.contents b
+
+let test_negative_frames () =
+  (* oversized length prefix: rejected before any allocation *)
+  (match Wire.decode_header (header (Wire.max_frame + 1) 0) with
+  | Result.Error (Wire.Oversized n) ->
+      Alcotest.(check int) "oversized carries the length" (Wire.max_frame + 1) n
+  | _ -> Alcotest.fail "oversized header accepted");
+  (* CRC mismatch *)
+  let frame = Wire.encode_request Wire.Ping in
+  let len, crc =
+    match Wire.decode_header (String.sub frame 0 Wire.header_bytes) with
+    | Result.Ok hc -> hc
+    | Result.Error e ->
+        Alcotest.failf "good header rejected: %s" (Wire.protocol_error_to_string e)
+  in
+  let payload = String.sub frame Wire.header_bytes len in
+  Alcotest.(check bool) "good payload passes" true
+    (Wire.check_payload ~crc payload = Result.Ok payload);
+  (match Wire.check_payload ~crc:(crc lxor 1) payload with
+  | Result.Error Wire.Crc_mismatch -> ()
+  | _ -> Alcotest.fail "bad crc accepted");
+  (* unknown tags, both directions: a response tag is not a request *)
+  (match Wire.decode_request "\x63" with
+  | Result.Error (Wire.Unknown_tag 99) -> ()
+  | _ -> Alcotest.fail "unknown request tag accepted");
+  (match Wire.decode_response "\x07" with
+  | Result.Error (Wire.Unknown_tag 7) -> ()
+  | _ -> Alcotest.fail "request tag accepted as a response");
+  (* empty payload, truncated body, trailing garbage: Malformed *)
+  (match Wire.decode_request "" with
+  | Result.Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "empty payload accepted");
+  let qframe = Wire.encode_request (Wire.Query (Vquery.line ~x:1.0)) in
+  let qpayload =
+    String.sub qframe Wire.header_bytes (String.length qframe - Wire.header_bytes)
+  in
+  (match Wire.decode_request (String.sub qpayload 0 (String.length qpayload - 3)) with
+  | Result.Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "truncated body accepted");
+  match Wire.decode_request (qpayload ^ "x") with
+  | Result.Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+(* ---------------- blocking transport ---------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_send_recv_roundtrip () =
+  with_socketpair (fun a b ->
+      let req = Wire.Batch [| Vquery.line ~x:3.0; Vquery.ray_up ~x:1.0 ~ylo:0.0 |] in
+      Wire.send b (Wire.encode_request req);
+      match Wire.recv a with
+      | Result.Ok payload ->
+          Alcotest.(check bool) "frame survives the stream" true
+            (Wire.decode_request payload = Result.Ok req)
+      | Result.Error e -> Alcotest.failf "recv: %s" (Wire.protocol_error_to_string e))
+
+let test_recv_truncated () =
+  (* end-of-stream mid-header *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring b "\x04\x00" 0 2);
+      Unix.close b;
+      match Wire.recv a with
+      | Result.Error Wire.Truncated -> ()
+      | Result.Ok _ -> Alcotest.fail "truncated stream produced a frame"
+      | Result.Error e ->
+          Alcotest.failf "expected Truncated, got %s" (Wire.protocol_error_to_string e));
+  (* end-of-stream mid-payload *)
+  with_socketpair (fun a b ->
+      let frame = Wire.encode_request (Wire.Query (Vquery.line ~x:2.0)) in
+      ignore (Unix.write_substring b frame 0 (Wire.header_bytes + 4));
+      Unix.close b;
+      match Wire.recv a with
+      | Result.Error Wire.Truncated -> ()
+      | _ -> Alcotest.fail "mid-payload end-of-stream not Truncated")
+
+let test_recv_timeout () =
+  with_socketpair (fun a _b ->
+      match Wire.recv ~timeout:0.05 a with
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ()
+      | Result.Ok _ -> Alcotest.fail "a frame out of silence"
+      | Result.Error e ->
+          Alcotest.failf "expected ETIMEDOUT, got %s" (Wire.protocol_error_to_string e))
+
+(* ---------------- addresses ---------------- *)
+
+let test_addr_of_string () =
+  let ok s expect =
+    match Server.addr_of_string s with
+    | Result.Ok got ->
+        Alcotest.(check string) s (Server.addr_to_string expect) (Server.addr_to_string got)
+    | Result.Error m -> Alcotest.failf "%S rejected: %s" s m
+  in
+  ok "127.0.0.1:4090" (Server.Tcp ("127.0.0.1", 4090));
+  ok ":8080" (Server.Tcp ("127.0.0.1", 8080));
+  ok "unix:/tmp/segdb.sock" (Server.Unix_path "/tmp/segdb.sock");
+  ok "/tmp/segdb.sock" (Server.Unix_path "/tmp/segdb.sock");
+  List.iter
+    (fun s ->
+      match Server.addr_of_string s with
+      | Result.Ok a -> Alcotest.failf "%S parsed as %s" s (Server.addr_to_string a)
+      | Result.Error _ -> ())
+    [ "nonsense"; "host:notaport"; "host:70000" ]
+
+(* ---------------- loopback serving ---------------- *)
+
+let build_db ?(backend = `Solution2) ?(n = 400) ?(seed = 42) () =
+  let segs = W.roads (Rng.create seed) ~n ~span:100.0 in
+  Db.create ~backend ~block:8 ~pool_blocks:8 segs
+
+let with_server ?domains ?queue_depth ?deadline_ms db f =
+  let srv =
+    Server.create ?domains ?queue_depth ?deadline_ms ~db (Server.Tcp ("127.0.0.1", 0))
+  in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv)
+    (fun () -> f (Server.bound_addr srv))
+
+let random_queries ?(n = 64) seed =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      let x = Rng.float rng 120.0 -. 10.0 in
+      match Rng.int rng 4 with
+      | 0 -> Vquery.line ~x
+      | 1 -> Vquery.ray_up ~x ~ylo:(Rng.float rng 100.0)
+      | 2 -> Vquery.ray_down ~x ~yhi:(Rng.float rng 100.0)
+      | _ ->
+          let y = Rng.float rng 100.0 in
+          Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 40.0))
+
+(* The acceptance criterion: a served batch is byte-identical to the
+   in-process parallel engine's answer. *)
+let test_loopback_parity () =
+  let db = build_db () in
+  with_server db (fun addr ->
+      let c = Client.connect ~timeout_ms:30_000 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.ping c;
+          let qs = random_queries 7 in
+          let served = Client.batch c qs in
+          let local = Db.parallel_query db qs ~domains:2 in
+          Alcotest.(check bool) "batch complete" true served.Db.Degraded.complete;
+          Alcotest.(check bool) "no faults" true (served.Db.Degraded.faults = []);
+          Alcotest.(check bool) "served batch = parallel_query" true
+            (served.Db.Degraded.value = local);
+          let frame_of results =
+            Wire.encode_response (Wire.Batch_ids { results; complete = true; faults = [] })
+          in
+          Alcotest.(check bool) "byte-identical encodings" true
+            (frame_of served.Db.Degraded.value = frame_of local);
+          (* singles and counts against the serial oracle *)
+          Array.iter
+            (fun q ->
+              let one = Client.query c q in
+              Alcotest.(check bool) "query complete" true one.Db.Degraded.complete;
+              Alcotest.(check (list int)) "query ids"
+                (List.sort_uniq compare (Db.query_ids db q))
+                one.Db.Degraded.value;
+              Alcotest.(check int) "count" (Db.count db q) (Client.count c q))
+            (Array.sub qs 0 8)))
+
+let test_stats_over_wire () =
+  let db = build_db ~n:100 () in
+  with_server db (fun addr ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let prom = Client.stats c `Prometheus in
+          Alcotest.(check bool) "prometheus prefixed" true (contains prom "segdb_");
+          Alcotest.(check bool) "addr label attached" true
+            (contains prom "addr=\"127.0.0.1:");
+          let js = Client.stats c `Json in
+          Alcotest.(check bool) "json object" true
+            (String.length js > 0 && js.[0] = '{')))
+
+let test_shutdown_frame () =
+  let db = build_db ~n:50 () in
+  let srv = Server.create ~domains:1 ~db (Server.Tcp ("127.0.0.1", 0)) in
+  Server.start srv;
+  let addr = Server.bound_addr srv in
+  let c = Client.connect addr in
+  Client.ping c;
+  Client.shutdown c;
+  Client.close c;
+  Server.wait srv;
+  match Client.connect ~retries:0 ~backoff_ms:1 addr with
+  | exception Client.Error _ -> ()
+  | c2 ->
+      Client.close c2;
+      Alcotest.fail "server still accepting after drain"
+
+let test_unix_socket () =
+  let path = Filename.temp_file "segdb_net" ".sock" in
+  Sys.remove path;
+  let db = build_db ~n:50 () in
+  let srv = Server.create ~domains:1 ~db (Server.Unix_path path) in
+  Server.start srv;
+  let c = Client.connect (Server.Unix_path path) in
+  Client.ping c;
+  let q = Vquery.line ~x:50.0 in
+  let got = Client.query c q in
+  Alcotest.(check (list int)) "ids over the unix socket"
+    (List.sort_uniq compare (Db.query_ids db q))
+    got.Db.Degraded.value;
+  Client.shutdown c;
+  Client.close c;
+  Server.wait srv;
+  Alcotest.(check bool) "socket path unlinked on drain" false (Sys.file_exists path)
+
+(* ---------------- faults, backpressure, deadlines ---------------- *)
+
+let metric name = Metrics.value (Metrics.counter Metrics.default name)
+
+let with_obs f =
+  Metrics.reset Metrics.default;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Control.disable ();
+      Failpoint.disarm ())
+    (fun () ->
+      Obs.Control.enable ();
+      f ())
+
+(* The acceptance criterion: a torn response frame kills the connection
+   under the client, which retries to success; [io.retries] and
+   [net.requests] reflect the replay. *)
+let test_torn_write_retry () =
+  with_obs @@ fun () ->
+  let db = build_db ~n:200 () in
+  with_server ~domains:1 db (fun addr ->
+      let c = Client.connect ~retries:6 ~backoff_ms:1 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let q = Vquery.line ~x:50.0 in
+          let expect = List.sort_uniq compare (Db.query_ids db q) in
+          let requests0 = metric "net.requests" in
+          (* hit 1 is the client's own send; hit 2 tears the server's
+             response mid-frame and resets the connection *)
+          Failpoint.arm ~seed:11 [ ("net.write", Failpoint.plan ~at:2 Failpoint.Torn) ];
+          let got = Client.query c q in
+          Failpoint.disarm ();
+          Alcotest.(check (list int)) "healed answer" expect got.Db.Degraded.value;
+          Alcotest.(check bool) "client retried" true (metric "net.client.retries" >= 1);
+          Alcotest.(check bool) "io.retries reflects it" true (metric "io.retries" >= 1);
+          Alcotest.(check bool) "server saw the request again" true
+            (metric "net.requests" - requests0 >= 2)))
+
+let test_overload_backpressure () =
+  let db = build_db ~n:50 () in
+  with_server ~domains:1 ~queue_depth:0 db (fun addr ->
+      let c = Client.connect ~retries:0 ~backoff_ms:1 addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* ping is answered inline by the accept loop, never queued *)
+          Client.ping c;
+          match Client.query c (Vquery.line ~x:1.0) with
+          | exception Client.Error m ->
+              Alcotest.(check bool) "names the overload" true (contains m "overload")
+          | _ -> Alcotest.fail "zero-depth queue accepted work"))
+
+let test_deadline () =
+  let db = build_db ~backend:`Naive ~n:2000 () in
+  with_server ~domains:1 ~deadline_ms:1 db (fun addr ->
+      let port = match addr with Server.Tcp (_, p) -> p | _ -> Alcotest.fail "tcp" in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          (* a slow naive batch occupies the lone worker; the query
+             behind it sits queued past its 1ms budget *)
+          let slow =
+            Wire.Batch (Array.init 300 (fun i -> Vquery.line ~x:(float_of_int i /. 3.0)))
+          in
+          Wire.send fd (Wire.encode_request slow);
+          Wire.send fd (Wire.encode_request (Wire.Query (Vquery.line ~x:1.0)));
+          let read_resp () =
+            match Wire.recv ~timeout:60.0 fd with
+            | Result.Ok payload -> (
+                match Wire.decode_response payload with
+                | Result.Ok r -> r
+                | Result.Error e ->
+                    Alcotest.failf "decode: %s" (Wire.protocol_error_to_string e))
+            | Result.Error e ->
+                Alcotest.failf "recv: %s" (Wire.protocol_error_to_string e)
+          in
+          (match read_resp () with
+          | Wire.Batch_ids _ -> ()
+          | r -> Alcotest.failf "expected the batch first, got %s" (resp_name r));
+          match read_resp () with
+          | Wire.Error (Wire.Deadline, _) -> ()
+          | r -> Alcotest.failf "expected a deadline error, got %s" (resp_name r)))
+
+(* ---------------- the CLI reads queries from stdin ---------------- *)
+
+let cli_exe =
+  List.find_opt Sys.file_exists
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/segdb_cli.exe";
+      "../bin/segdb_cli.exe";
+    ]
+
+let run_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = go [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> lines
+  | _ -> Alcotest.failf "command failed: %s" cmd
+
+let test_cli_batch_stdin () =
+  match cli_exe with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+      let seg = Filename.temp_file "segdb_net" ".seg" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove seg with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out seg in
+          output_string oc "1 0 0 10 10\n2 5 0 5 10\n3 20 0 30 10\n";
+          close_out oc;
+          let cmd =
+            Printf.sprintf "printf '5\\n25\\n' | %s batch %s -q - --domains 1"
+              (Filename.quote exe) (Filename.quote seg)
+          in
+          let lines = run_lines cmd in
+          let hits =
+            List.filter (fun l -> contains l "-> 2 segments" || contains l "-> 1 segments")
+              lines
+          in
+          Alcotest.(check int) "two answered queries" 2 (List.length hits))
+
+let suite =
+  ( "net",
+    [
+      qtest prop_request_roundtrip;
+      qtest prop_response_roundtrip;
+      qtest prop_decode_total;
+      Alcotest.test_case "negative frames decode to typed errors" `Quick
+        test_negative_frames;
+      Alcotest.test_case "send/recv over a socketpair" `Quick test_send_recv_roundtrip;
+      Alcotest.test_case "recv: truncated streams" `Quick test_recv_truncated;
+      Alcotest.test_case "recv: timeout" `Quick test_recv_timeout;
+      Alcotest.test_case "addr_of_string" `Quick test_addr_of_string;
+      Alcotest.test_case "loopback parity with the in-process engine" `Quick
+        test_loopback_parity;
+      Alcotest.test_case "stats frame over the wire" `Quick test_stats_over_wire;
+      Alcotest.test_case "shutdown frame drains the server" `Quick test_shutdown_frame;
+      Alcotest.test_case "unix-domain socket serving" `Quick test_unix_socket;
+      Alcotest.test_case "torn response heals via client retry" `Quick
+        test_torn_write_retry;
+      Alcotest.test_case "zero-depth queue answers overloaded" `Quick
+        test_overload_backpressure;
+      Alcotest.test_case "queued past the deadline" `Quick test_deadline;
+      Alcotest.test_case "cli batch reads queries from stdin" `Quick test_cli_batch_stdin;
+    ] )

@@ -365,6 +365,32 @@ let test_exporters () =
   Alcotest.(check bool) "phase summary extracts phase" true
     (contains summary "pst.report")
 
+let test_prometheus_label_escaping () =
+  let r = exporter_registry () in
+  let nasty = "unix:/tmp/a \"b\"\\c\nd" in
+  let prom = Export.prometheus ~labels:[ ("addr", nasty); ("host-name", "h1") ] r in
+  (* the raw value (with its quote and newline) must never reach the
+     output; the escaped form must, with backslash, double quote and
+     newline all encoded per the exposition format *)
+  Alcotest.(check bool) "raw value absent" false (contains prom nasty);
+  Alcotest.(check bool) "escaped value present" true
+    (contains prom "addr=\"unix:/tmp/a \\\"b\\\"\\\\c\\nd\"");
+  Alcotest.(check bool) "label names sanitized" true (contains prom "host_name=\"h1\"");
+  (* the histogram's le label composes with the shared labels *)
+  Alcotest.(check bool) "le composes with labels" true
+    (contains prom "host_name=\"h1\",le=\"+Inf\"}");
+  (* every non-comment line still ends in exactly one numeric value:
+     an unescaped newline would have split a sample across lines *)
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.fail ("prometheus line without value: " ^ line)
+           | Some i ->
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               if float_of_string_opt v = None then
+                 Alcotest.fail ("prometheus value not numeric: " ^ line))
+
 let suite =
   ( "obs",
     [
@@ -381,4 +407,5 @@ let suite =
       Alcotest.test_case "parallel_query_stats" `Quick test_parallel_query_stats;
       qtest prop_tracing_is_transparent;
       Alcotest.test_case "exporters: text/json/prometheus" `Quick test_exporters;
+      Alcotest.test_case "prometheus label escaping" `Quick test_prometheus_label_escaping;
     ] )
