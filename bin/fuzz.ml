@@ -142,10 +142,12 @@ let run_round ~seed ~ops ~size round =
     instances
 
 module Db = Segdb_core.Segdb
+module Exec = Segdb_exec.Exec
 
-(* Parallel round: every backend answers a random query batch twice —
-   serially through the shared pool and via [Segdb.parallel_query] over
-   worker domains with private readers — and the answers must be
+(* Parallel round: every backend answers a random query batch three
+   times — serially, via [Segdb.parallel_query] (which fans out on the
+   shared execution engine), and through [Exec.submit] on the default
+   pool (the server's admission path) — and the answers must be
    identical, element by element. A second batch runs after a burst of
    inserts and deletes so the cross-check also covers indexes reshaped
    by mutation (rebuilt PSTs, split blocks). *)
@@ -207,7 +209,20 @@ let run_parallel_round ~seed ~ops ~size ~domains round =
                 name (List.length got)
                 (List.length serial.(i))
                 (Format.asprintf "%a" Vquery.pp qs.(i)))
-          par)
+          par;
+        let tk = Exec.submit (Exec.default ()) db (Exec.request qs) in
+        (match Exec.await tk with
+        | Exec.Ok out ->
+            Array.iteri
+              (fun i got ->
+                if got <> serial.(i) then
+                  fail "%s: %s pool answer diverged from serial (%d vs %d ids) on %s" label
+                    name (List.length got)
+                    (List.length serial.(i))
+                    (Format.asprintf "%a" Vquery.pp qs.(i)))
+              out
+        | o -> fail "%s: %s pool refused the batch: %s" label name
+                 (Format.asprintf "%a" Exec.pp_outcome o)))
       dbs
   in
   cross_check "fresh build";

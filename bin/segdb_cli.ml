@@ -44,6 +44,7 @@ module Wal = Segdb_io.Wal
 module Failpoint = Segdb_io.Failpoint
 module Snapshot = Segdb_core.Snapshot
 module Obs = Segdb_obs
+module Exec = Segdb_exec.Exec
 module Server = Segdb_net.Server
 module Client = Segdb_net.Client
 
@@ -225,16 +226,63 @@ let with_client addr f =
       Printf.eprintf "%s\n" m;
       1
 
-let stats file connect backend block pool nqueries selectivity seed format =
+(* The local/remote branch, shared by every subcommand that accepts
+   --connect: remote work runs against a connected client, local work
+   demands the positional file first. One place owns the dispatch
+   instead of each subcommand re-growing its own. *)
+let local_or_remote ~cmd ~connect ~file ~local ~remote =
   match connect with
-  | Some addr ->
+  | Some addr -> with_client addr (fun c -> remote addr c)
+  | None -> local (require_file cmd file)
+
+(* Answer a batch on the process-wide execution pool — the same engine
+   the network server submits frames to, so local and served batches
+   share scheduling, deadline and degraded-result semantics. Returns
+   the per-query results (partial after a deadline), the per-domain
+   accounting, and an annotation for anything short of a complete
+   answer. *)
+let exec_batch ?(deadline_ms = 0) db qs ~domains =
+  if domains > 1 then Exec.set_default_workers (domains - 1);
+  let pool = Exec.default () in
+  let readers = Array.init domains (fun _ -> Db.reader db) in
+  let outcome, wstats =
+    Exec.run ~readers pool db (Exec.request ~deadline_ms qs) ~domains
+  in
+  let results, note =
+    match outcome with
+    | Exec.Ok results -> (results, None)
+    | Exec.Degraded (results, faults) ->
+        (results, Some (Printf.sprintf "DEGRADED: %s" (String.concat "; " faults)))
+    | Exec.Deadline_exceeded { partial; completed } ->
+        ( partial,
+          Some
+            (Printf.sprintf "deadline of %dms exceeded: %d of %d queries answered"
+               deadline_ms completed (Array.length qs)) )
+    | Exec.Cancelled { partial; completed } ->
+        ( partial,
+          Some (Printf.sprintf "cancelled after %d of %d queries" completed (Array.length qs))
+        )
+    | Exec.Overloaded -> assert false (* [run] participates inline; it is never refused *)
+  in
+  (results, wstats, note)
+
+(* One line per query, shared by the local and remote batch paths. *)
+let print_results ~verbose qs results =
+  Array.iteri
+    (fun i ids ->
+      Printf.printf "%s -> %d segments\n"
+        (Format.asprintf "%a" Vquery.pp qs.(i))
+        (List.length ids);
+      if verbose then List.iter (Printf.printf "  %d\n") ids)
+    results
+
+let stats file connect backend block pool nqueries selectivity seed format =
+  local_or_remote ~cmd:"stats" ~connect ~file
+    ~remote:(fun _addr c ->
       (* the server's live registry, over the wire *)
-      with_client addr (fun c ->
-          print_string (Client.stats c format);
-          0)
-  | None ->
-      stats_local (require_file "stats" file) backend block pool nqueries selectivity seed
-        format
+      print_string (Client.stats c format);
+      0)
+    ~local:(fun file -> stats_local file backend block pool nqueries selectivity seed format)
 
 let stats_queries_t =
   Arg.(
@@ -254,17 +302,6 @@ let stats_cmd =
       $ selectivity_t $ seed_t $ format_t)
 
 (* ---------------- query ---------------- *)
-
-let remote_query addr q verbose =
-  with_client addr (fun c ->
-      let r = Client.query c q in
-      Printf.printf "%s -> %d segments%s (via %s)\n"
-        (Format.asprintf "%a" Vquery.pp q)
-        (List.length r.Db.Degraded.value)
-        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults)
-        (Server.addr_to_string addr);
-      if verbose then List.iter (Printf.printf "  %d\n") r.Db.Degraded.value;
-      0)
 
 let query_local file backend block pool q verbose trace =
   let segs = Seg_file.load file in
@@ -296,9 +333,17 @@ let query file connect backend block pool x ylo yhi verbose trace =
       ~ylo:(Option.value ylo ~default:neg_infinity)
       ~yhi:(Option.value yhi ~default:infinity)
   in
-  match connect with
-  | Some addr -> remote_query addr q verbose
-  | None -> query_local (require_file "query" file) backend block pool q verbose trace
+  local_or_remote ~cmd:"query" ~connect ~file
+    ~remote:(fun addr c ->
+      let r = Client.query c q in
+      Printf.printf "%s -> %d segments%s (via %s)\n"
+        (Format.asprintf "%a" Vquery.pp q)
+        (List.length r.Db.Degraded.value)
+        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults)
+        (Server.addr_to_string addr);
+      if verbose then List.iter (Printf.printf "  %d\n") r.Db.Degraded.value;
+      0)
+    ~local:(fun file -> query_local file backend block pool q verbose trace)
 
 let x_t = Arg.(required & opt (some float) None & info [ "x" ] ~docv:"X" ~doc:"Query abscissa.")
 
@@ -415,43 +460,22 @@ let load_queries path =
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_queries path ic)
   end
 
-let remote_batch addr qs verbose =
-  with_client addr (fun c ->
-      let t0 = Unix.gettimeofday () in
-      let r = Client.batch c qs in
-      let dt = Unix.gettimeofday () -. t0 in
-      Array.iteri
-        (fun i ids ->
-          Printf.printf "%s -> %d segments\n"
-            (Format.asprintf "%a" Vquery.pp qs.(i))
-            (List.length ids);
-          if verbose then List.iter (Printf.printf "  %d\n") ids)
-        r.Db.Degraded.value;
-      Printf.printf "%d queries via %s: %.3fs (%.0f queries/sec)%s\n" (Array.length qs)
-        (Server.addr_to_string addr) dt
-        (float_of_int (Array.length qs) /. Float.max dt 1e-9)
-        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults);
-      0)
-
-let batch_local file backend block pool domains qs verbose =
+let batch_local file backend block pool domains deadline_ms qs verbose =
   let segs = Seg_file.load file in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
-  let readers = Array.init domains (fun _ -> Db.reader db) in
   let t0 = Unix.gettimeofday () in
-  let results, wstats = Db.parallel_query_stats ~readers db qs ~domains in
+  let results, wstats, note = exec_batch ~deadline_ms db qs ~domains in
   let dt = Unix.gettimeofday () -. t0 in
-  Array.iteri
-    (fun i ids ->
-      Printf.printf "%s -> %d segments\n"
-        (Format.asprintf "%a" Vquery.pp qs.(i))
-        (List.length ids);
-      if verbose then List.iter (Printf.printf "  %d\n") ids)
-    results;
+  print_results ~verbose qs results;
   let reads = Array.fold_left (fun acc (w : Db.worker_stats) -> acc + w.reads) 0 wstats in
-  Printf.printf "%d queries, %d domains: %.3fs (%.0f queries/sec, %d block reads)\n"
-    (Array.length qs) domains dt
-    (float_of_int (Array.length qs) /. Float.max dt 1e-9)
+  let answered = Array.fold_left (fun acc (w : Db.worker_stats) -> acc + w.queries) 0 wstats in
+  Printf.printf "%d queries, %d domains (pool of %d): %.3fs (%.0f queries/sec, %d block reads)\n"
+    (Array.length qs) domains
+    (Exec.size (Exec.default ()))
+    dt
+    (float_of_int answered /. Float.max dt 1e-9)
     reads;
+  (match note with None -> () | Some n -> Printf.printf "note: %s\n" n);
   let table =
     Table.create ~title:"per-domain readers"
       ~columns:[ "worker"; "queries"; "block reads"; "cache hits"; "cache misses" ]
@@ -475,15 +499,33 @@ let domains_t =
     value & opt int 4
     & info [ "domains" ] ~docv:"N" ~doc:"Worker domains answering the batch.")
 
-let batch file connect backend block pool domains queries_file verbose =
+let batch_deadline_t =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Budget for the whole batch (local execution only; 0 disables). A batch that \
+           runs past it stops issuing block reads at the next cancellation point and \
+           reports the queries it completed — partial answers, exit status 0.")
+
+let batch file connect backend block pool domains deadline_ms queries_file verbose =
   let qs = load_queries queries_file in
   if Array.length qs = 0 then begin
     Printf.eprintf "%s: no queries\n" queries_file;
     exit 2
   end;
-  match connect with
-  | Some addr -> remote_batch addr qs verbose
-  | None -> batch_local (require_file "batch" file) backend block pool domains qs verbose
+  local_or_remote ~cmd:"batch" ~connect ~file
+    ~remote:(fun addr c ->
+      let t0 = Unix.gettimeofday () in
+      let r = Client.batch c qs in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_results ~verbose qs r.Db.Degraded.value;
+      Printf.printf "%d queries via %s: %.3fs (%.0f queries/sec)%s\n" (Array.length qs)
+        (Server.addr_to_string addr) dt
+        (float_of_int (Array.length qs) /. Float.max dt 1e-9)
+        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults);
+      0)
+    ~local:(fun file -> batch_local file backend block pool domains deadline_ms qs verbose)
 
 let queries_file_t =
   Arg.(
@@ -499,12 +541,13 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
-         "answer a file of vertical queries with $(b,Segdb.parallel_query), fanning the \
-          batch across worker domains with private read contexts — or, with \
-          $(b,--connect), ship the batch to a server as one frame")
+         "answer a file of vertical queries on the persistent execution pool \
+          ($(b,Segdb_exec)), fanning the batch across worker domains with private read \
+          contexts and an optional deadline — or, with $(b,--connect), ship the batch to \
+          a server as one frame")
     Term.(
       const batch $ file_opt_t $ connect_t $ backend_t $ block_t $ pool_t $ domains_t
-      $ queries_file_t $ verbose_t)
+      $ batch_deadline_t $ queries_file_t $ verbose_t)
 
 (* ---------------- save / open / recover ---------------- *)
 
@@ -834,10 +877,13 @@ let serve file addr backend block domains queue_depth deadline_ms no_obs =
    with Invalid_argument _ | Sys_error _ -> ());
   (* the bound address goes out flushed so scripts can scrape a
      kernel-assigned port before the first client connects *)
-  Printf.printf "serving %s on %s: backend %s, %d segments, %d domains (queue %d, deadline %dms)\n%!"
+  Printf.printf
+    "serving %s on %s: backend %s, %d segments, pool of %d domains (queue %d, deadline %dms)\n%!"
     file
     (Server.addr_to_string (Server.bound_addr srv))
-    (Db.backend_name db) (Db.size db) domains queue_depth deadline_ms;
+    (Db.backend_name db) (Db.size db)
+    (Exec.size (Server.pool srv))
+    queue_depth deadline_ms;
   Server.run srv;
   Printf.printf "drained: %d requests served\n"
     (Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default "net.requests"));
@@ -886,8 +932,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "serve a segment file or snapshot over the binary wire protocol: an accept \
-          loop feeds a bounded queue drained by worker domains with private read \
-          contexts; SIGTERM/SIGINT or a $(i,shutdown) frame drains gracefully")
+          loop submits decoded frames to a persistent $(b,Segdb_exec) pool (bounded \
+          admission, per-request deadlines, cooperative cancellation); SIGTERM/SIGINT \
+          or a $(i,shutdown) frame drains gracefully")
     Term.(
       const serve $ file_t $ serve_addr_t $ backend_t $ block_t $ serve_domains_t
       $ queue_depth_t $ deadline_ms_t $ no_obs_t)

@@ -2,9 +2,10 @@
 
    Serves one database (a text segment file or a snapshot, detected by
    magic) over the binary wire protocol on TCP or a Unix socket. The
-   accept loop feeds a bounded queue drained by worker domains, each
-   with a private read context; SIGTERM/SIGINT or a client shutdown
-   frame drains gracefully.
+   accept loop submits decoded frames to a persistent Segdb_exec pool
+   (bounded admission, per-request deadlines, cooperative
+   cancellation), each worker with a private read context;
+   SIGTERM/SIGINT or a client shutdown frame drains gracefully.
 
      segdb_server roads.seg --addr 127.0.0.1:4090 --domains 4
      segdb_server roads.snap --addr unix:/tmp/segdb.sock
@@ -14,6 +15,7 @@
 
 open Cmdliner
 module Db = Segdb_core.Segdb
+module Exec = Segdb_exec.Exec
 module Server = Segdb_net.Server
 module Obs = Segdb_obs
 module Failpoint = Segdb_io.Failpoint
@@ -27,10 +29,13 @@ let serve file addr backend block domains queue_depth deadline_ms no_obs =
    with Invalid_argument _ | Sys_error _ -> ());
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
-  Printf.printf "serving %s on %s: backend %s, %d segments, %d domains (queue %d, deadline %dms)\n%!"
+  Printf.printf
+    "serving %s on %s: backend %s, %d segments, pool of %d domains (queue %d, deadline %dms)\n%!"
     file
     (Server.addr_to_string (Server.bound_addr srv))
-    (Db.backend_name db) (Db.size db) domains queue_depth deadline_ms;
+    (Db.backend_name db) (Db.size db)
+    (Exec.size (Server.pool srv))
+    queue_depth deadline_ms;
   Server.run srv;
   Printf.printf "drained: %d requests served\n"
     (Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default "net.requests"));

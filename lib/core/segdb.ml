@@ -16,6 +16,10 @@ type t = {
   backend : backend;
   pack : pack;
   mutable wal : Wal.t option;
+  generation : int Atomic.t;
+      (* bumped by every structural mutation; lets long-lived readers
+         (e.g. the execution engine's per-domain cache) detect that
+         their block shard may hold stale pages *)
 }
 
 let build_pack (cfg : Vs_index.config) backend segs =
@@ -36,7 +40,8 @@ let build_pack (cfg : Vs_index.config) backend segs =
 let create ?(backend = `Solution2) ?(block = 64) ?(pool_blocks = 64) segs =
   let cascade = backend <> `Solution2_nofc in
   let cfg = Vs_index.config ~pool_blocks ~block ~cascade () in
-  { cfg; backend; pack = build_pack cfg backend segs; wal = None }
+  { cfg; backend; pack = build_pack cfg backend segs; wal = None;
+    generation = Atomic.make 0 }
 
 let of_segments ?backend ?block ?pool_blocks polylines =
   let acc = ref [] in
@@ -81,11 +86,14 @@ let log_op t op =
 
 let apply_insert t s =
   let (Pack ((module M), v, _)) = t.pack in
-  M.insert v s
+  M.insert v s;
+  Atomic.incr t.generation
 
 let apply_delete t s =
   let (Pack ((module M), v, _)) = t.pack in
-  M.delete v s
+  let hit = M.delete v s in
+  if hit then Atomic.incr t.generation;
+  hit
 
 (* Replay is idempotent where the index is not: a record whose effect is
    already present (the crash happened between the append and the apply
@@ -104,6 +112,8 @@ let insert t s =
 let delete t s =
   log_op t (Op_delete s);
   apply_delete t s
+
+let generation t = Atomic.get t.generation
 
 (* ---------------- queries ---------------- *)
 
@@ -203,14 +213,15 @@ let count_r t r q =
   query_iter_r t r q ~f:(fun _ -> incr n);
   !n
 
-(* Batch executor: worker domains pull query indexes off a shared
-   atomic cursor (self-balancing — an expensive query does not stall a
-   whole stripe), each answering through its own reader, so the only
-   shared writes are the cursor and disjoint result slots. The caller
-   must hold off writers for the duration, per the reader/writer
-   contract; the calling domain works too, so [domains = 1] is the
-   serial loop. *)
-let parallel_query ?readers t qs ~domains =
+(* Legacy batch executor, kept as the no-engine fallback and the
+   bench baseline: worker domains are spawned fresh for every call and
+   pull query indexes off a shared atomic cursor (self-balancing — an
+   expensive query does not stall a whole stripe), each answering
+   through its own reader, so the only shared writes are the cursor
+   and disjoint result slots. The caller must hold off writers for the
+   duration, per the reader/writer contract; the calling domain works
+   too, so [domains = 1] is the serial loop. *)
+let parallel_query_spawning ?readers t qs ~domains =
   if domains < 1 then invalid_arg "Segdb.parallel_query: domains must be >= 1";
   (match readers with
   | Some rs when Array.length rs <> domains ->
@@ -251,11 +262,12 @@ let pp_worker_stats ppf w =
   Format.fprintf ppf "worker %d: queries=%d reads=%d cache=%d/%d" w.worker w.queries
     w.reads w.cache_hits (w.cache_hits + w.cache_misses)
 
-(* [parallel_query] plus instrumentation: per-worker counters always
-   (they ride on structures each worker owns anyway), and per-worker
-   latency histograms merged into [Metrics.default] as
+(* Spawn-per-batch variant of the instrumented executor (fallback /
+   baseline, like {!parallel_query_spawning}): per-worker counters
+   always (they ride on structures each worker owns anyway), and
+   per-worker latency histograms merged into [Metrics.default] as
    [parallel.query.ns] when observability is on. *)
-let parallel_query_stats ?readers t qs ~domains =
+let parallel_query_stats_spawning ?readers t qs ~domains =
   if domains < 1 then invalid_arg "Segdb.parallel_query_stats: domains must be >= 1";
   (match readers with
   | Some rs when Array.length rs <> domains ->
@@ -303,6 +315,47 @@ let parallel_query_stats ?readers t qs ~domains =
   worker 0 ();
   Array.iter Domain.join spawned;
   (out, stats)
+
+(* ---------------- the execution-engine hook ----------------
+
+   [Segdb_core] cannot depend on [Segdb_exec] (the engine depends on
+   this module), so the engine registers itself here at module
+   initialization: when [Segdb_exec.Exec] is linked into the program,
+   batches run on its persistent worker pool instead of spawning
+   domains per call. [domains = 1] stays inline in either case — a
+   serial loop with zero queueing — and the spawning executor remains
+   the fallback for binaries that do not link the engine. *)
+
+type batch_engine =
+  ?readers:reader array ->
+  t ->
+  Vquery.t array ->
+  domains:int ->
+  int list array * worker_stats array
+
+let batch_engine : batch_engine option ref = ref None
+
+let set_batch_engine f = batch_engine := Some f
+
+let parallel_query ?readers t qs ~domains =
+  if domains < 1 then invalid_arg "Segdb.parallel_query: domains must be >= 1";
+  (match readers with
+  | Some rs when Array.length rs <> domains ->
+      invalid_arg "Segdb.parallel_query: readers array must have one reader per domain"
+  | _ -> ());
+  match !batch_engine with
+  | Some engine when domains > 1 -> fst (engine ?readers t qs ~domains)
+  | _ -> parallel_query_spawning ?readers t qs ~domains
+
+let parallel_query_stats ?readers t qs ~domains =
+  if domains < 1 then invalid_arg "Segdb.parallel_query_stats: domains must be >= 1";
+  (match readers with
+  | Some rs when Array.length rs <> domains ->
+      invalid_arg "Segdb.parallel_query_stats: readers array must have one reader per domain"
+  | _ -> ());
+  match !batch_engine with
+  | Some engine when domains > 1 -> engine ?readers t qs ~domains
+  | _ -> parallel_query_stats_spawning ?readers t qs ~domains
 
 let segments t =
   let acc = ref [] in
@@ -379,7 +432,7 @@ let open_db_mode ?(use_image = true) path =
              the executable that wrote it — hence the digest guard *)
           try
             let cfg, pack = (Marshal.from_string img 0 : Vs_index.config * pack) in
-            Some { cfg; backend; pack; wal = None }
+            Some { cfg; backend; pack; wal = None; generation = Atomic.make 0 }
           with Failure _ -> None)
       | _ -> None
   in

@@ -1,0 +1,194 @@
+open Segdb_geom
+module Db = Segdb_core.Segdb
+
+(** The execution engine: every query entry point, one scheduler.
+
+    [Exec] owns query execution end-to-end. A {!t} is a persistent pool
+    of worker domains — spawned once, reused for every batch — fed by a
+    bounded job queue. Work arrives as a typed {!request} (query batch,
+    absolute deadline, degraded-result tolerance) and leaves as a typed
+    {!outcome}; deadlines and explicit cancellation propagate into the
+    storage layer through [Segdb_io.Cancel], so an abandoned request
+    stops at the next block fetch instead of scanning to completion.
+
+    Two ways in:
+
+    - {!run} — cooperative fan-out for a caller that wants the batch
+      answered {e now}: the calling domain participates, idle pool
+      workers join as helpers, and queries are pulled off a shared
+      cursor. This is what [Segdb.parallel_query] routes through (the
+      hook is installed by this module's initializer, so merely linking
+      [segdb_exec] upgrades every batch call site in the program).
+    - {!submit} / {!await} — admission-controlled asynchronous
+      execution for servers: the request is queued for a single worker,
+      refused with {!Overloaded} when the queue is full, and completed
+      through a callback on the worker domain.
+
+    Pool metrics land in [Segdb_obs.Metrics.default] when observability
+    is on: [exec.queue_depth] (gauge), [exec.request.ns] (histogram
+    over submitted requests), [exec.deadline_exceeded] and
+    [exec.cancelled] (counters). *)
+
+(** {1 Requests and outcomes} *)
+
+type request
+(** A batch of queries plus its execution policy, built by {!request}.
+    Immutable; a request may be run or submitted more than once. *)
+
+val request :
+  ?deadline_ms:int -> ?degraded_ok:bool -> ?trace:bool -> Vquery.t array -> request
+(** [request qs] describes executing the batch [qs].
+
+    - [deadline_ms]: budget from {e now} (the clock starts at
+      construction, so queue time counts against it — a request built
+      at admission and served late can expire before its first query).
+      [0] or absent means no deadline. Whatever the budget, an admitted
+      request always completes its first query: deadline enforcement
+      arms only after one answer exists, so a tight deadline yields a
+      partial result rather than an empty one, and only a request that
+      expired while still queued reports zero completions.
+    - [degraded_ok] (default [true]): storage faults (corrupt pages,
+      undecodable blocks) are collected per query and reported through
+      {!Degraded} rather than raised; [false] re-raises the first
+      fault to the caller of {!run}. Injected crashes
+      ([Failpoint.Injected_crash]) always propagate — they model
+      process death, not a servable fault.
+    - [trace] (default [false]): wrap execution in a
+      [Segdb_obs.Trace] span (["exec.batch"]) when observability is
+      enabled. *)
+
+val queries : request -> Vquery.t array
+val deadline_ns : request -> int
+(** Absolute deadline in [Trace.now_ns] time, [0] when none. *)
+
+type outcome =
+  | Ok of int list array
+      (** Element [i] holds the sorted matching ids for query [i]. *)
+  | Degraded of int list array * string list
+      (** Every query ran, but some hit storage faults: the answers
+          cover what survived, and the faults say what did not. *)
+  | Deadline_exceeded of { partial : int list array; completed : int }
+      (** The deadline cut execution short after [completed] queries
+          (in cursor order for {!run}, batch order for {!submit});
+          unanswered slots are [[]]. [completed = 0] means the request
+          expired before doing any work (e.g. while queued). *)
+  | Overloaded
+      (** Refused at admission: the queue was at [queue_depth]. The
+          request never touched a worker. *)
+  | Cancelled of { partial : int list array; completed : int }
+      (** Explicitly cancelled ({!cancel}, or the [cancel] flag of
+          {!run}); same partial-result convention as
+          [Deadline_exceeded]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line summary: constructor, completed/total, fault count. *)
+
+(** {1 The pool} *)
+
+type t
+(** A persistent pool of worker domains plus its admission queue.
+    Domains are spawned by {!create} and live until {!shutdown}. *)
+
+val create : ?queue_depth:int -> workers:int -> unit -> t
+(** [create ~workers ()] spawns [max 1 workers] domains, parked on the
+    job queue. [queue_depth] (default 128) bounds how many {!submit}ted
+    requests may be admitted but not yet running; [0] refuses every
+    submit (useful in tests). Cooperative {!run} work bypasses
+    admission — a full queue can delay helpers, never the caller. *)
+
+val size : t -> int
+(** Worker-domain count (fixed at creation). *)
+
+val queue_depth : t -> int
+
+val shutdown : t -> unit
+(** Stops the workers after the queue drains and joins them.
+    Idempotent. Requests admitted before shutdown complete; new
+    submits are refused with {!Overloaded}. *)
+
+(** {1 Cooperative execution} *)
+
+val run :
+  ?readers:Db.reader array ->
+  ?cancel:bool Atomic.t ->
+  t ->
+  Db.t ->
+  request ->
+  domains:int ->
+  outcome * Db.worker_stats array
+(** [run pool db req ~domains] answers the batch with up to [domains]
+    participants: the calling domain always works, and up to
+    [min (domains - 1) (size pool)] pool workers join as helpers as
+    they come free (a busy pool degrades to fewer helpers, never to a
+    wrong answer — the caller finishes whatever nobody else picks up).
+    Queries are pulled off a shared cursor, so skewed batches
+    self-balance exactly as in the spawn-per-call executor this
+    replaces.
+
+    [readers], when given, must have one reader per [domains] slot
+    (slot [k] is used by participant [k]; slots no helper reached stay
+    untouched). Setting [cancel] to [true] (from any domain) stops the
+    batch at the next query boundary or block fetch.
+
+    The [worker_stats] array has [domains] rows; rows for slots no
+    helper filled report zero queries. With a single-worker pool or
+    [domains = 1] the batch runs entirely inline — no queueing, no
+    atomics beyond the cursor.
+
+    Raises [Invalid_argument] on [domains < 1] or a mis-sized
+    [readers]; re-raises worker exceptions when the request has
+    [degraded_ok = false]. *)
+
+(** {1 Submitted execution} *)
+
+type ticket
+(** A handle on one admitted (or refused) request. *)
+
+val submit :
+  ?cache_blocks:int -> ?on_complete:(outcome -> unit) -> t -> Db.t -> request -> ticket
+(** Queues the request for a single worker domain, or refuses it when
+    [queue_depth] requests are already waiting (the ticket is then
+    already complete with {!Overloaded}). [on_complete] fires exactly
+    once, on the worker domain (or the submitting domain for an
+    admission refusal), after the outcome is recorded — a server's
+    chance to write the response without a coordination hop. Workers
+    keep one cached reader per database they have served (keyed by
+    physical identity, sized by [cache_blocks] at first use), so a
+    request stream against one database keeps its LRU shard warm
+    across requests. *)
+
+val await : ticket -> outcome
+(** Blocks until the outcome is recorded; returns immediately on an
+    already-complete ticket. *)
+
+val peek : ticket -> outcome option
+(** The outcome if complete, without blocking. *)
+
+val cancel : ticket -> unit
+(** Requests cancellation: a queued request completes as {!Cancelled}
+    with no work done; a running one stops at the next block fetch.
+    Completion still arrives through {!await} / [on_complete]. *)
+
+val served_by : ticket -> int
+(** Domain id ([Domain.self]) of the worker that executed the request,
+    [-1] until one picks it up. Stable across batches on a one-worker
+    pool — the test hook for pool persistence. *)
+
+(** {1 The process-default pool} *)
+
+val default : unit -> t
+(** The lazily-created process-wide pool that [Segdb.parallel_query]
+    fans out on. Sized on first use from
+    [Domain.recommended_domain_count ()] (minus one for the calling
+    domain, minimum 1), or from the [SEGDB_EXEC_WORKERS] environment
+    variable, or from {!set_default_workers} — whichever bound it last
+    before creation. Never shut down explicitly; its parked domains
+    die with the process. *)
+
+val set_default_workers : int -> unit
+(** Overrides the default pool's size. Takes effect only before the
+    pool exists (first call to {!default} or first multi-domain
+    [Segdb.parallel_query]); later calls are ignored. *)
+
+val default_created : unit -> bool
+(** Whether the default pool has been forced yet. *)

@@ -110,6 +110,9 @@ struct
             | None -> fail_unknown t a))
 
   let read t a =
+    (* block-fetch granularity for cooperative cancellation: an
+       expired request stops here instead of scanning to completion *)
+    Cancel.poll ();
     match Read_context.active () with
     | Some ctx -> read_via t ctx a
     | None -> (

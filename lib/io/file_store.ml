@@ -442,6 +442,9 @@ struct
 
   let read t a =
     check_open t;
+    (* same cooperative cancellation point as [Block_store.read]: one
+       poll per block fetch *)
+    Cancel.poll ();
     if not (Hashtbl.mem t.extents a) then fail_unknown t a;
     match Read_context.active () with
     | Some ctx -> read_via t ctx a

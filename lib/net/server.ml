@@ -1,5 +1,6 @@
 module Db = Segdb_core.Segdb
 module Seg_file = Segdb_core.Seg_file
+module Exec = Segdb_exec.Exec
 module Failpoint = Segdb_io.Failpoint
 module Metrics = Segdb_obs.Metrics
 module Control = Segdb_obs.Control
@@ -42,37 +43,34 @@ let sockaddr_of = function
       in
       Unix.ADDR_INET (ip, port)
 
-(* ---------------- connections and jobs ---------------- *)
+(* ---------------- connections ---------------- *)
 
 type conn = {
   fd : Unix.file_descr;
   peer : string;
   mutable inbuf : string;  (** bytes received, not yet framed *)
-  wlock : Mutex.t;  (** serializes frame writes (workers + accept loop) *)
-  pending : int Atomic.t;  (** queued jobs still owing a response *)
+  wlock : Mutex.t;  (** serializes frame writes (pool workers + accept loop) *)
+  pending : int Atomic.t;  (** submitted requests still owing a response *)
   closing : bool Atomic.t;  (** reaped by the accept loop once [pending] drains *)
 }
 
-type job = { jconn : conn; req : Wire.request; enqueued_ns : int }
-
+(* The server owns no execution machinery of its own: queueing,
+   admission control, worker domains, deadlines and per-worker readers
+   all live in [Exec]. What is left here is purely the socket side —
+   accept, frame, dispatch, respond. *)
 type t = {
   db : Db.t;
   lfd : Unix.file_descr;
   bound : addr;
-  domains : int;
-  queue_depth : int;
-  deadline_ns : int;  (** 0 disables *)
+  deadline_ms : int;  (** 0 disables *)
   cache_blocks : int option;
-  q : job Queue.t;
-  qm : Mutex.t;
-  qc : Condition.t;
+  pool : Exec.t;
   stopping : bool Atomic.t;
   mutable runner : unit Domain.t option;
   (* metric handles, resolved once *)
   m_requests : Metrics.counter;
   m_bytes_in : Metrics.counter;
   m_bytes_out : Metrics.counter;
-  g_depth : Metrics.gauge;
 }
 
 let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_blocks ~db addr =
@@ -101,22 +99,18 @@ let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_bloc
     db;
     lfd;
     bound;
-    domains = max 1 domains;
-    queue_depth = max 0 queue_depth;
-    deadline_ns = max 0 deadline_ms * 1_000_000;
+    deadline_ms = max 0 deadline_ms;
     cache_blocks;
-    q = Queue.create ();
-    qm = Mutex.create ();
-    qc = Condition.create ();
+    pool = Exec.create ~queue_depth:(max 0 queue_depth) ~workers:(max 1 domains) ();
     stopping = Atomic.make false;
     runner = None;
     m_requests = Metrics.counter reg "net.requests";
     m_bytes_in = Metrics.counter reg "net.bytes_in";
     m_bytes_out = Metrics.counter reg "net.bytes_out";
-    g_depth = Metrics.gauge reg "net.queue_depth";
   }
 
 let bound_addr t = t.bound
+let pool t = t.pool
 let stop t = Atomic.set t.stopping true
 
 (* ---------------- responses ---------------- *)
@@ -133,9 +127,7 @@ let respond t conn resp =
       | () -> if Control.enabled () then Metrics.add t.m_bytes_out (String.length s)
       | exception Unix.Unix_error (_, _, _) -> Atomic.set conn.closing true)
 
-(* ---------------- request execution (worker side) ---------------- *)
-
-let sorted_ids segs = List.sort_uniq compare (List.map (fun s -> s.Segdb_geom.Segment.id) segs)
+(* ---------------- request execution (via the engine) ---------------- *)
 
 let stats_payload t fmt =
   let reg = Metrics.default in
@@ -144,79 +136,65 @@ let stats_payload t fmt =
   | `Json -> Export.json reg
   | `Prometheus -> Export.prometheus ~labels:[ ("addr", addr_to_string t.bound) ] reg
 
-let exec t reader req =
-  match req with
-  | Wire.Ping -> Wire.Pong
-  | Wire.Shutdown -> Wire.Shutdown_ack
-  | Wire.Stats fmt -> Wire.Stats_payload (stats_payload t fmt)
-  | Wire.Count q -> Wire.Counted (Db.count_r t.db reader q)
-  | Wire.Query q ->
-      let d = Db.with_reader reader (fun () -> Db.query_safe t.db q) in
-      Wire.Ids
-        { ids = sorted_ids d.Db.Degraded.value; complete = d.Db.Degraded.complete; faults = d.Db.Degraded.faults }
-  | Wire.Batch qs ->
-      let faults = ref [] in
-      let results =
-        Db.with_reader reader (fun () ->
-            Array.map
-              (fun q ->
-                let d = Db.query_safe t.db q in
-                faults := List.rev_append d.Db.Degraded.faults !faults;
-                sorted_ids d.Db.Degraded.value)
-              qs)
-      in
-      let faults = List.rev !faults in
-      Wire.Batch_ids { results; complete = faults = []; faults }
+(* An [Exec] outcome, folded back into the wire vocabulary of the
+   request that produced it. *)
+let response_of_outcome t ~kind (o : Exec.outcome) =
+  match (o, kind) with
+  | Exec.Ok out, `Query -> Wire.Ids { ids = out.(0); complete = true; faults = [] }
+  | Exec.Ok out, `Count -> Wire.Counted (List.length out.(0))
+  | Exec.Ok out, `Batch -> Wire.Batch_ids { results = out; complete = true; faults = [] }
+  | Exec.Degraded (out, faults), `Query ->
+      Wire.Ids { ids = out.(0); complete = false; faults }
+  | Exec.Degraded (_, faults), `Count ->
+      (* a count has no partial-answer channel: surface the fault *)
+      Wire.Error (Wire.Server_error, String.concat "; " faults)
+  | Exec.Degraded (out, faults), `Batch ->
+      Wire.Batch_ids { results = out; complete = false; faults }
+  | Exec.Deadline_exceeded { completed = 0; _ }, _ ->
+      (* expired before any work — still queued when the budget ran out *)
+      Wire.Error (Wire.Deadline, Printf.sprintf "queued past %dms" t.deadline_ms)
+  | Exec.Deadline_exceeded { partial; completed }, `Batch ->
+      Wire.Batch_ids
+        {
+          results = partial;
+          complete = false;
+          faults =
+            [
+              Printf.sprintf "deadline exceeded after %d of %d queries" completed
+                (Array.length partial);
+            ];
+        }
+  | Exec.Deadline_exceeded _, (`Query | `Count) ->
+      (* unreachable: a single-query request either completes its one
+         query (first-query immunity) or expires with completed = 0 *)
+      Wire.Error (Wire.Deadline, "deadline exceeded")
+  | Exec.Overloaded, _ -> Wire.Error (Wire.Overloaded, "request queue full")
+  | Exec.Cancelled _, _ -> Wire.Error (Wire.Server_error, "cancelled")
 
-let process t reader job =
-  let resp =
-    if t.deadline_ns > 0 && Trace.now_ns () - job.enqueued_ns > t.deadline_ns then
-      Wire.Error (Wire.Deadline, Printf.sprintf "queued past %dms" (t.deadline_ns / 1_000_000))
-    else
-      try exec t reader job.req with
-      | Failpoint.Injected_crash _ as e -> raise e (* models process death *)
-      | e -> Wire.Error (Wire.Server_error, Printexc.to_string e)
+(* Hand a query-bearing request to the pool. The completion callback
+   runs on whichever worker domain served it (or right here, for an
+   admission refusal) and writes the response itself — no coordination
+   hop back to the accept loop. *)
+let submit_query t conn req =
+  Atomic.incr conn.pending;
+  let t0 = Trace.now_ns () in
+  let qs, kind =
+    match req with
+    | Wire.Query q -> ([| q |], `Query)
+    | Wire.Count q -> ([| q |], `Count)
+    | Wire.Batch qs -> (qs, `Batch)
+    | Wire.Ping | Wire.Shutdown | Wire.Stats _ -> assert false
   in
-  respond t job.jconn resp;
-  if Control.enabled () then
-    Metrics.observe Metrics.default "net.request.ns" (Trace.now_ns () - job.enqueued_ns);
-  Atomic.decr job.jconn.pending
-
-let worker t () =
-  let reader = Db.reader ?cache_blocks:t.cache_blocks t.db in
-  let rec loop () =
-    Mutex.lock t.qm;
-    while Queue.is_empty t.q && not (Atomic.get t.stopping) do
-      Condition.wait t.qc t.qm
-    done;
-    match Queue.take_opt t.q with
-    | None ->
-        (* stopping and drained *)
-        Mutex.unlock t.qm
-    | Some job ->
-        if Control.enabled () then Metrics.set_gauge t.g_depth (Queue.length t.q);
-        Mutex.unlock t.qm;
-        process t reader job;
-        loop ()
+  let ereq = Exec.request ~deadline_ms:t.deadline_ms qs in
+  let on_complete outcome =
+    respond t conn (response_of_outcome t ~kind outcome);
+    if Control.enabled () then
+      Metrics.observe Metrics.default "net.request.ns" (Trace.now_ns () - t0);
+    Atomic.decr conn.pending
   in
-  loop ()
+  ignore (Exec.submit ?cache_blocks:t.cache_blocks ~on_complete t.pool t.db ereq)
 
 (* ---------------- accept loop ---------------- *)
-
-let enqueue t conn req =
-  Atomic.incr conn.pending;
-  Mutex.lock t.qm;
-  let accepted = Queue.length t.q < t.queue_depth in
-  if accepted then begin
-    Queue.push { jconn = conn; req; enqueued_ns = Trace.now_ns () } t.q;
-    if Control.enabled () then Metrics.set_gauge t.g_depth (Queue.length t.q);
-    Condition.signal t.qc
-  end;
-  Mutex.unlock t.qm;
-  if not accepted then begin
-    Atomic.decr conn.pending;
-    respond t conn (Wire.Error (Wire.Overloaded, "request queue full"))
-  end
 
 let dispatch t conn req =
   if Control.enabled () then Metrics.incr t.m_requests;
@@ -228,7 +206,7 @@ let dispatch t conn req =
   | Wire.Stats fmt -> respond t conn (Wire.Stats_payload (stats_payload t fmt))
   | Wire.Query _ | Wire.Count _ | Wire.Batch _ ->
       if Atomic.get t.stopping then respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
-      else enqueue t conn req
+      else submit_query t conn req
 
 (* Peel complete frames off [conn.inbuf]. Framing damage (oversized
    header, CRC mismatch) means the stream can no longer be trusted:
@@ -312,7 +290,6 @@ let run t =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
-  let workers = List.init t.domains (fun _ -> Domain.spawn (worker t)) in
   let conns = ref [] in
   (* serve *)
   while not (Atomic.get t.stopping) do
@@ -330,24 +307,14 @@ let run t =
           ready);
     reap conns
   done;
-  (* drain: no new connections or requests; answer what is queued *)
+  (* drain: no new connections or requests; answer what is queued, then
+     stop the pool (joins its worker domains) *)
   (try Unix.close t.lfd with Unix.Unix_error (_, _, _) -> ());
-  let drained () =
-    Mutex.lock t.qm;
-    let e = Queue.is_empty t.q in
-    Mutex.unlock t.qm;
-    e && List.for_all (fun c -> Atomic.get c.pending = 0) !conns
-  in
+  let drained () = List.for_all (fun c -> Atomic.get c.pending = 0) !conns in
   while not (drained ()) do
-    Mutex.lock t.qm;
-    Condition.broadcast t.qc;
-    Mutex.unlock t.qm;
     Unix.sleepf 0.002
   done;
-  Mutex.lock t.qm;
-  Condition.broadcast t.qc;
-  Mutex.unlock t.qm;
-  List.iter Domain.join workers;
+  Exec.shutdown t.pool;
   List.iter (fun c -> Atomic.set c.closing true) !conns;
   List.iter (fun c -> Atomic.set c.pending 0) !conns;
   reap conns;

@@ -4,28 +4,35 @@
     Architecture: one {e accept loop} (the domain that calls {!run})
     multiplexes the listen socket and every live connection with
     [select], peels complete frames off per-connection buffers, and
-    feeds a {e bounded request queue}; [domains] {e worker domains}
-    drain the queue, each answering through its own private
-    {!Segdb_core.Segdb.reader} (the same per-domain read-context
-    discipline as [Segdb.parallel_query]), executing queries via
-    [query_safe] so storage faults degrade answers instead of killing
-    connections.
+    submits query-bearing requests to a {!Segdb_exec.Exec} pool — the
+    same execution engine behind [Segdb.parallel_query] and the CLI.
+    The server owns {e no} worker domains, request queue, or deadline
+    bookkeeping of its own: admission control, per-worker readers,
+    deadline propagation and cancellation all live in the engine; the
+    completion callback writes the response from whichever worker
+    domain served the request.
 
-    Backpressure is explicit: when the queue is full the accept loop
-    answers [Error Overloaded] immediately instead of buffering without
-    bound. Each request carries a deadline from the moment it is
-    enqueued; a request that is still queued past its deadline is
-    answered [Error Deadline] without being executed. A [Shutdown]
-    frame (or {!stop}, which is what the SIGTERM handler of
-    [segdb_server] calls) drains gracefully: accepting stops, queued
-    requests are answered, then every connection is closed and {!run}
-    returns.
+    Backpressure is explicit: when the engine's queue is full the
+    request is answered [Error Overloaded] immediately instead of
+    buffering without bound. Each request carries a deadline from the
+    moment it is submitted; one still queued past its budget is
+    answered [Error Deadline] without being executed, and one that
+    expires mid-batch returns the partial answers it earned (an
+    admitted request always completes at least its first query). A
+    [Shutdown] frame (or {!stop}, which is what the SIGTERM handler of
+    [segdb_server] calls) drains gracefully: accepting stops, admitted
+    requests are answered, the pool is shut down, then every connection
+    is closed and {!run} returns.
 
     Instrumentation (under {!Segdb_obs.Control.enabled}): [net.requests],
-    [net.bytes_in], [net.bytes_out] counters, the [net.queue_depth]
-    gauge, and the [net.request.ns] histogram. *)
+    [net.bytes_in], [net.bytes_out] counters and the [net.request.ns]
+    histogram from this layer, plus the engine's [exec.queue_depth]
+    gauge, [exec.request.ns] histogram and [exec.deadline_exceeded] /
+    [exec.cancelled] counters — all served over the wire by the
+    [Stats] frame. *)
 
 module Db := Segdb_core.Segdb
+module Exec := Segdb_exec.Exec
 
 type addr = Tcp of string * int | Unix_path of string
 
@@ -47,16 +54,20 @@ val create :
   addr ->
   t
 (** Binds and listens immediately (so {!bound_addr} is final before any
-    worker starts). [domains] worker domains (default 2, min 1),
-    [queue_depth] bounds the request queue (default 128; 0 refuses all
-    queued work — useful to test backpressure), [deadline_ms] is the
-    per-request budget from enqueue (default 5000; 0 disables),
-    [cache_blocks] sizes each worker reader's private LRU shard.
-    Raises [Unix.Unix_error] if the address cannot be bound. *)
+    worker starts), then creates the server's {!Segdb_exec.Exec} pool:
+    [domains] worker domains (default 2, min 1), [queue_depth] bounds
+    admission (default 128; 0 refuses all queued work — useful to test
+    backpressure), [deadline_ms] is the per-request budget from
+    submission (default 5000; 0 disables), [cache_blocks] sizes each
+    worker's cached reader shard. Raises [Unix.Unix_error] if the
+    address cannot be bound. *)
 
 val bound_addr : t -> addr
 (** The actual listening address — the kernel-chosen port when the TCP
     address was given port 0. *)
+
+val pool : t -> Exec.t
+(** The server's execution pool (for size / introspection). *)
 
 val run : t -> unit
 (** Serve until a [Shutdown] frame arrives or {!stop} is called; the
