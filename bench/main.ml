@@ -22,7 +22,7 @@ let quick =
 
 (* ---------------- machine-readable output ---------------- *)
 
-(* Every measurement also lands in BENCH_PR7.json so runs can be
+(* Every measurement also lands in BENCH_PR8.json so runs can be
    diffed without scraping the ASCII tables. *)
 
 type json_row = {
@@ -264,6 +264,41 @@ let run_traced_phases () =
   Segdb_obs.Metrics.reset Segdb_obs.Metrics.default;
   Array.iter (fun q -> ignore (Db.count db q)) queries;
   print_string (Segdb_obs.Export.phase_summary Segdb_obs.Metrics.default)
+
+(* Observability overhead: the same solution2 query mix timed with the
+   obs layer off (every probe site reduced to one Atomic.get) and on
+   (spans recorded into per-domain rings, histograms fed). The pair of
+   rows is the PR's overhead contract: obs-off must stay within noise
+   of the uninstrumented hot path. *)
+let run_obs_overhead () =
+  let n = if quick then 1 lsl 12 else 1 lsl 15 in
+  let span = 1000.0 in
+  let segs = W.uniform (Rng.create 42) ~n ~span in
+  let queries = W.segment_queries (Rng.create 43) ~n:64 ~span ~selectivity:0.02 in
+  let db = Db.create ~backend:`Solution2 ~block:64 ~pool_blocks:64 segs in
+  Array.iter (fun q -> ignore (Db.count db q)) queries;
+  let rounds = if quick then 8 else 64 in
+  let measure () =
+    let t0 = Segdb_obs.Trace.now_ns () in
+    for _ = 1 to rounds do
+      Array.iter (fun q -> ignore (Db.count db q)) queries
+    done;
+    float_of_int (Segdb_obs.Trace.now_ns () - t0)
+    /. float_of_int (rounds * Array.length queries)
+  in
+  Segdb_obs.Control.disable ();
+  let off = measure () in
+  let on =
+    Segdb_obs.Control.with_enabled (fun () ->
+        Segdb_obs.Trace.clear ();
+        measure ())
+  in
+  add_json { (row "solution2" "query_obs_off") with ns_per_op = Some off };
+  add_json { (row "solution2" "query_obs_on") with ns_per_op = Some on };
+  Printf.printf
+    "solution2 query mix: %.1f us/op obs off, %.1f us/op obs on (%+.1f%%)\n"
+    (off /. 1e3) (on /. 1e3)
+    (100.0 *. ((on /. off) -. 1.0))
 
 (* ---------------- parallel query throughput ---------------- *)
 
@@ -632,6 +667,8 @@ let () =
   run_latency_percentiles ();
   Printf.printf "\n=== solution2 per-phase spans ===\n\n";
   run_traced_phases ();
+  Printf.printf "\n=== observability overhead (off vs on) ===\n\n";
+  run_obs_overhead ();
   Printf.printf "\n=== parallel query throughput ===\n\n";
   run_parallel_throughput ();
   Printf.printf "\n=== execution engine: pool vs spawn ===\n\n";
@@ -641,4 +678,4 @@ let () =
   Printf.printf "\n=== persistence: snapshot open + file store ===\n\n";
   run_persistence ();
   print_newline ();
-  write_json "BENCH_PR7.json"
+  write_json "BENCH_PR8.json"

@@ -718,8 +718,15 @@ let run_net_round ~seed ~ops ~size round =
 
 let store_sites = [ "pread"; "pwrite"; "store.sync" ]
 
+(* the socket sites see no traffic in a crash round (nothing serves
+   here), so demanding they fire would always fail; their fault
+   coverage is --net's one-shot plans *)
+let socket_sites = [ "net.read"; "net.write" ]
+
 let run_crash_matrix ~rounds ~ops ~seed ~size =
-  let sites = Failpoint.registered () in
+  let sites =
+    List.filter (fun s -> not (List.mem s socket_sites)) (Failpoint.registered ())
+  in
   if sites = [] then begin
     Printf.eprintf "fuzz --crash: no fault sites registered\n";
     exit 1

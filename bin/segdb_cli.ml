@@ -303,16 +303,31 @@ let stats_cmd =
 
 (* ---------------- query ---------------- *)
 
-let query_local file backend block pool q verbose trace =
+let write_trace_json path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Obs.Export.trace_json events));
+  Printf.printf "trace JSON written to %s\n" path
+
+(* The satellite fix: --trace used to print an empty table with no
+   explanation when nothing survived in the ring. *)
+let empty_trace_note () =
+  print_endline
+    "note: no spans were recorded — observability is off, or the trace ring wrapped and \
+     dropped this query's spans (see Trace.set_capacity)"
+
+let query_local file backend block pool q verbose trace trace_json =
   let segs = Seg_file.load file in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
+  let rid = Obs.Trace.fresh_request_id () in
   if trace then begin
     Obs.Control.enable ();
     Obs.Trace.clear ()
   end;
   let io = Db.io db in
   Io_stats.reset io;
-  let hits = Db.query db q in
+  let hits = Obs.Trace.with_request_id rid (fun () -> Db.query db q) in
   Printf.printf "%s -> %d segments (%s)\n"
     (Format.asprintf "%a" Vquery.pp q)
     (List.length hits)
@@ -320,14 +335,59 @@ let query_local file backend block pool q verbose trace =
   if verbose then
     List.iter (fun s -> Printf.printf "  %s\n" (Format.asprintf "%a" Segment.pp s)) hits;
   if trace then begin
+    let events = Obs.Trace.events () in
     print_newline ();
-    print_string (Obs.Export.trace_text (Obs.Trace.events ()));
-    print_newline ();
-    print_string (Obs.Export.phase_summary Obs.Metrics.default)
+    if events = [] then empty_trace_note ()
+    else begin
+      print_string (Obs.Export.trace_text events);
+      print_newline ();
+      print_string (Obs.Export.phase_summary Obs.Metrics.default)
+    end;
+    Option.iter (fun path -> write_trace_json path events) trace_json
   end;
   0
 
-let query file connect backend block pool x ylo yhi verbose trace =
+(* A traced remote query: ship the query with a client-generated
+   request id, bracket the exchange in a local client.request span,
+   then pull the server's spans for that id back and stitch the two
+   rings into one timeline. *)
+let query_remote_traced addr c q verbose trace_json =
+  Obs.Control.enable ();
+  Obs.Trace.clear ();
+  let rid = Obs.Trace.fresh_request_id () in
+  let r =
+    Obs.Trace.with_request_id rid (fun () ->
+        Obs.Trace.with_span "client.request" (fun () ->
+            Client.batch_ex c ~request_id:rid ~trace:true [| q |]))
+  in
+  let ids = r.Db.Degraded.value.(0) in
+  Printf.printf "%s -> %d segments%s (via %s, request %x)\n"
+    (Format.asprintf "%a" Vquery.pp q)
+    (List.length ids)
+    (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults)
+    (Server.addr_to_string addr)
+    rid;
+  if verbose then List.iter (Printf.printf "  %d\n") ids;
+  let remote = Client.fetch_trace c ~request_id:rid in
+  let local =
+    List.filter (fun (e : Obs.Trace.event) -> e.Obs.Trace.request_id = rid) (Obs.Trace.events ())
+  in
+  print_newline ();
+  if remote = [] then
+    print_endline
+      "note: the server returned no spans — its observability is off (serve without \
+       --no-obs), or its trace ring wrapped past this request";
+  let events = remote @ local in
+  if events = [] then empty_trace_note ()
+  else begin
+    Printf.printf "request %x timeline (%d client spans, %d server spans):\n" rid
+      (List.length local) (List.length remote);
+    print_string (Obs.Export.timeline events)
+  end;
+  Option.iter (fun path -> write_trace_json path events) trace_json;
+  0
+
+let query file connect backend block pool x ylo yhi verbose trace trace_json =
   let q =
     Vquery.segment ~x
       ~ylo:(Option.value ylo ~default:neg_infinity)
@@ -335,15 +395,18 @@ let query file connect backend block pool x ylo yhi verbose trace =
   in
   local_or_remote ~cmd:"query" ~connect ~file
     ~remote:(fun addr c ->
-      let r = Client.query c q in
-      Printf.printf "%s -> %d segments%s (via %s)\n"
-        (Format.asprintf "%a" Vquery.pp q)
-        (List.length r.Db.Degraded.value)
-        (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults)
-        (Server.addr_to_string addr);
-      if verbose then List.iter (Printf.printf "  %d\n") r.Db.Degraded.value;
-      0)
-    ~local:(fun file -> query_local file backend block pool q verbose trace)
+      if trace then query_remote_traced addr c q verbose trace_json
+      else begin
+        let r = Client.query c q in
+        Printf.printf "%s -> %d segments%s (via %s)\n"
+          (Format.asprintf "%a" Vquery.pp q)
+          (List.length r.Db.Degraded.value)
+          (degraded_note r.Db.Degraded.complete r.Db.Degraded.faults)
+          (Server.addr_to_string addr);
+        if verbose then List.iter (Printf.printf "  %d\n") r.Db.Degraded.value;
+        0
+      end)
+    ~local:(fun file -> query_local file backend block pool q verbose trace trace_json)
 
 let x_t = Arg.(required & opt (some float) None & info [ "x" ] ~docv:"X" ~doc:"Query abscissa.")
 
@@ -367,14 +430,26 @@ let trace_t =
     & info [ "trace" ]
         ~doc:
           "Trace the query pipeline: print every recorded span (descent, PST, interval \
-           tree, slab tree) with durations and block counts, plus the per-phase summary.")
+           tree, slab tree) with durations and block counts, plus the per-phase summary. \
+           With $(b,--connect), the query ships with a client-generated request id, the \
+           server's spans for it are fetched back, and the stitched \
+           client→server→storage timeline is printed.")
+
+let trace_json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--trace): also write the events as Chrome trace-event JSON \
+           (loadable in Perfetto or chrome://tracing).")
 
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"run one vertical line/ray/segment query, locally or remotely")
     Term.(
       const query $ file_opt_t $ connect_t $ backend_t $ block_t $ pool_t $ x_t $ ylo_t
-      $ yhi_t $ verbose_t $ trace_t)
+      $ yhi_t $ verbose_t $ trace_t $ trace_json_t)
 
 (* ---------------- compare ---------------- *)
 
@@ -460,6 +535,19 @@ let load_queries path =
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_queries path ic)
   end
 
+(* --slow-ms on a local batch: arm the threshold for the run, dump
+   whatever cleared it afterwards. (A separate `segdb_cli slowlog`
+   invocation is a fresh process with an empty ring — the local dump
+   has to happen here; the subcommand is for servers.) *)
+let dump_local_slowlog () =
+  if Obs.Slowlog.enabled () then begin
+    let es = Obs.Slowlog.entries () in
+    if es <> [] then begin
+      print_newline ();
+      print_string (Obs.Slowlog.to_text es)
+    end
+  end
+
 let batch_local file backend block pool domains deadline_ms qs verbose =
   let segs = Seg_file.load file in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
@@ -492,6 +580,7 @@ let batch_local file backend block pool domains deadline_ms qs verbose =
         ])
     wstats;
   Table.print table;
+  dump_local_slowlog ();
   0
 
 let domains_t =
@@ -508,12 +597,13 @@ let batch_deadline_t =
            runs past it stops issuing block reads at the next cancellation point and \
            reports the queries it completed — partial answers, exit status 0.")
 
-let batch file connect backend block pool domains deadline_ms queries_file verbose =
+let batch file connect backend block pool domains deadline_ms queries_file verbose slow_ms =
   let qs = load_queries queries_file in
   if Array.length qs = 0 then begin
     Printf.eprintf "%s: no queries\n" queries_file;
     exit 2
   end;
+  Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   local_or_remote ~cmd:"batch" ~connect ~file
     ~remote:(fun addr c ->
       let t0 = Unix.gettimeofday () in
@@ -537,6 +627,17 @@ let queries_file_t =
            ray) or $(i,X YLO YHI) (bounded segment); blank lines and # comments ignored. \
            $(b,-) reads the queries from stdin.")
 
+let slow_ms_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Arm the slow-query log at MS milliseconds (0 records every request; negative \
+           disables; default: the $(b,SEGDB_SLOW_MS) environment variable). A local \
+           batch dumps the records it collected after the run; a server exposes its \
+           ring via $(b,segdb_cli slowlog --connect).")
+
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
@@ -547,7 +648,7 @@ let batch_cmd =
           a server as one frame")
     Term.(
       const batch $ file_opt_t $ connect_t $ backend_t $ block_t $ pool_t $ domains_t
-      $ batch_deadline_t $ queries_file_t $ verbose_t)
+      $ batch_deadline_t $ queries_file_t $ verbose_t $ slow_ms_t)
 
 (* ---------------- save / open / recover ---------------- *)
 
@@ -866,8 +967,9 @@ let verify_cmd =
 
 (* ---------------- serve / ping / shutdown ---------------- *)
 
-let serve file addr backend block domains queue_depth deadline_ms no_obs =
+let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms =
   if not no_obs then Obs.Control.enable ();
+  Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   let db = Server.open_or_build ~backend ~block file in
   let srv = Server.create ~domains ~queue_depth ~deadline_ms ~db addr in
   let on_signal _ = Server.stop srv in
@@ -937,7 +1039,7 @@ let serve_cmd =
           or a $(i,shutdown) frame drains gracefully")
     Term.(
       const serve $ file_t $ serve_addr_t $ backend_t $ block_t $ serve_domains_t
-      $ queue_depth_t $ deadline_ms_t $ no_obs_t)
+      $ queue_depth_t $ deadline_ms_t $ no_obs_t $ slow_ms_t)
 
 let server_pos_t =
   Arg.(
@@ -978,6 +1080,32 @@ let shutdown_cmd =
           and exits")
     Term.(const shutdown_server $ server_pos_t)
 
+(* ---------------- slowlog ---------------- *)
+
+let slowlog connect json =
+  let fmt = if json then `Json else `Text in
+  match connect with
+  | Some addr -> with_client addr (fun c -> print_string (Client.slowlog c fmt); 0)
+  | None ->
+      prerr_endline
+        "slowlog needs --connect: the log lives in the server process. For a local \
+         batch, pass --slow-ms to `segdb_cli batch` and the log is dumped when the \
+         batch finishes.";
+      2
+
+let slowlog_json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Dump the log as a JSON array instead of a table.")
+
+let slowlog_cmd =
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:
+         "dump a running server's slow-query log (queries whose wall time crossed the \
+          $(b,--slow-ms) threshold the server was started with, oldest first)")
+    Term.(const slowlog $ connect_t $ slowlog_json_t)
+
 (* ---------------- main ---------------- *)
 
 let main_cmd =
@@ -998,8 +1126,11 @@ let main_cmd =
       serve_cmd;
       ping_cmd;
       shutdown_cmd;
+      slowlog_cmd;
     ]
 
 let () =
   Failpoint.arm_from_env ();
+  Obs.Log.configure_from_env ();
+  Obs.Slowlog.configure_from_env ();
   exit (Cmd.eval' main_cmd)

@@ -20,8 +20,9 @@ module Server = Segdb_net.Server
 module Obs = Segdb_obs
 module Failpoint = Segdb_io.Failpoint
 
-let serve file addr backend block domains queue_depth deadline_ms no_obs =
+let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms =
   if not no_obs then Obs.Control.enable ();
+  Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   let db = Server.open_or_build ~backend ~block file in
   let srv = Server.create ~domains ~queue_depth ~deadline_ms ~db addr in
   let on_signal _ = Server.stop srv in
@@ -115,14 +116,26 @@ let no_obs_t =
           "Leave observability off (it is enabled by default, so the $(i,stats) frame \
            has something to report).")
 
+let slow_ms_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Record queries slower than $(docv) milliseconds in the slow-query log \
+           (0 records every query; also settable via $(b,SEGDB_SLOW_MS)). Dump it \
+           with $(b,segdb_cli slowlog --connect ADDR).")
+
 let cmd =
   Cmd.v
     (Cmd.info "segdb_server"
        ~doc:"serve a segment database over the binary wire protocol")
     Term.(
       const serve $ file_t $ addr_t $ backend_t $ block_t $ domains_t $ queue_depth_t
-      $ deadline_ms_t $ no_obs_t)
+      $ deadline_ms_t $ no_obs_t $ slow_ms_t)
 
 let () =
   Failpoint.arm_from_env ();
+  Obs.Log.configure_from_env ();
+  Obs.Slowlog.configure_from_env ();
   exit (Cmd.eval' cmd)

@@ -12,16 +12,29 @@ type request = {
   rq_deadline_ns : int; (* absolute, 0 = none; clock starts at construction *)
   rq_degraded_ok : bool;
   rq_trace : bool;
+  rq_id : int; (* request id carried into trace spans; never 0 *)
 }
 
-let request ?(deadline_ms = 0) ?(degraded_ok = true) ?(trace = false) queries =
+let request ?(deadline_ms = 0) ?(degraded_ok = true) ?(trace = false) ?request_id queries =
   let deadline_ns =
     if deadline_ms > 0 then Obs.Trace.now_ns () + (deadline_ms * 1_000_000) else 0
   in
-  { rq_queries = queries; rq_deadline_ns = deadline_ns; rq_degraded_ok = degraded_ok; rq_trace = trace }
+  let rq_id =
+    match request_id with
+    | Some rid when rid <> 0 -> rid
+    | _ -> Obs.Trace.fresh_request_id ()
+  in
+  {
+    rq_queries = queries;
+    rq_deadline_ns = deadline_ns;
+    rq_degraded_ok = degraded_ok;
+    rq_trace = trace;
+    rq_id;
+  }
 
 let queries r = r.rq_queries
 let deadline_ns r = r.rq_deadline_ns
+let request_id r = r.rq_id
 
 type outcome =
   | Ok of int list array
@@ -29,6 +42,13 @@ type outcome =
   | Deadline_exceeded of { partial : int list array; completed : int }
   | Overloaded
   | Cancelled of { partial : int list array; completed : int }
+
+let outcome_name = function
+  | Ok _ -> "ok"
+  | Degraded _ -> "degraded"
+  | Deadline_exceeded _ -> "deadline"
+  | Overloaded -> "overloaded"
+  | Cancelled _ -> "cancelled"
 
 let pp_outcome ppf = function
   | Ok out -> Format.fprintf ppf "ok (%d queries)" (Array.length out)
@@ -152,7 +172,7 @@ type stop_reason = R_fault of exn * Printexc.raw_backtrace | R_deadline | R_canc
    [closed] (the pool was busy; the batch is already done) sees the
    flag and exits without touching the arrays, so stale helpers are
    harmless no-ops. *)
-let run_batch pool ?readers ?flag ~deadline_ns ~degraded_ok db qs ~domains =
+let run_batch pool ?readers ?flag ?(request_id = 0) ~deadline_ns ~degraded_ok db qs ~domains =
   let n = Array.length qs in
   let out = Array.make n [] in
   let stats =
@@ -210,7 +230,15 @@ let run_batch pool ?readers ?flag ~deadline_ns ~degraded_ok db qs ~domains =
         (* the handle is installed once for the whole batch — per-query
            install cost (DLS save/restore, the process-wide counter)
            would dominate cheap queries *)
-        (match Cancel.install h (fun () -> loop true) with
+        let install () =
+          (* attribute this participant's spans to the request; helpers
+             run on pool domains whose DLS id would otherwise be stale *)
+          if request_id <> 0 && Obs.Control.enabled () then
+            Obs.Trace.with_request_id request_id (fun () ->
+                Cancel.install h (fun () -> loop true))
+          else Cancel.install h (fun () -> loop true)
+        in
+        (match install () with
         | () -> ()
         | exception Cancel.Cancelled Cancel.Deadline -> post R_deadline
         | exception Cancel.Cancelled Cancel.Explicit -> post R_cancel
@@ -259,6 +287,25 @@ let run_batch pool ?readers ?flag ~deadline_ns ~degraded_ok db qs ~domains =
   in
   (outcome, stats)
 
+(* One slow-query record. [mk] is only called past the threshold, so
+   the query rendering never runs on the fast path. *)
+let slowlog_entry ~request_id ~wall_ns ~queue_wait_ns ~blocks ~cache_hits ~cache_misses req
+    outcome =
+  {
+    Obs.Slowlog.request_id;
+    query =
+      (if Array.length req.rq_queries = 0 then "-"
+       else Format.asprintf "%a" Vquery.pp req.rq_queries.(0));
+    queries = Array.length req.rq_queries;
+    outcome = outcome_name outcome;
+    wall_ns;
+    queue_wait_ns;
+    blocks;
+    cache_hits;
+    cache_misses;
+    at_ns = Obs.Trace.now_ns ();
+  }
+
 let run ?readers ?cancel pool db req ~domains =
   if domains < 1 then invalid_arg "Exec.run: domains must be >= 1";
   (match readers with
@@ -266,10 +313,31 @@ let run ?readers ?cancel pool db req ~domains =
       invalid_arg "Exec.run: readers array must have one reader per domain"
   | _ -> ());
   let exec () =
-    run_batch pool ?readers ?flag:cancel ~deadline_ns:req.rq_deadline_ns
-      ~degraded_ok:req.rq_degraded_ok db req.rq_queries ~domains
+    run_batch pool ?readers ?flag:cancel ~request_id:req.rq_id
+      ~deadline_ns:req.rq_deadline_ns ~degraded_ok:req.rq_degraded_ok db req.rq_queries
+      ~domains
   in
-  if req.rq_trace then Obs.Trace.with_span "exec.batch" exec else exec ()
+  let traced () = if req.rq_trace then Obs.Trace.with_span "exec.batch" exec else exec () in
+  let slow = Obs.Slowlog.enabled () in
+  let t0 = if slow then Obs.Trace.now_ns () else 0 in
+  let ((outcome, stats) as res) =
+    (* the caller participates, so its own spans need the id too *)
+    if req.rq_id <> 0 && Obs.Control.enabled () then
+      Obs.Trace.with_request_id req.rq_id traced
+    else traced ()
+  in
+  if slow then
+    Obs.Slowlog.note ~wall_ns:(Obs.Trace.now_ns () - t0) (fun () ->
+        let blocks = Array.fold_left (fun a (s : Db.worker_stats) -> a + s.reads) 0 stats in
+        let hits =
+          Array.fold_left (fun a (s : Db.worker_stats) -> a + s.cache_hits) 0 stats
+        in
+        let misses =
+          Array.fold_left (fun a (s : Db.worker_stats) -> a + s.cache_misses) 0 stats
+        in
+        slowlog_entry ~request_id:req.rq_id ~wall_ns:(Obs.Trace.now_ns () - t0)
+          ~queue_wait_ns:0 ~blocks ~cache_hits:hits ~cache_misses:misses req outcome);
+  res
 
 (* ---------------- submitted execution ---------------- *)
 
@@ -286,6 +354,20 @@ type ticket = {
 }
 
 let finish tk outcome =
+  (match outcome with
+  | Deadline_exceeded { completed; _ } ->
+      if Obs.Log.would_log Obs.Log.Info then
+        Obs.Log.info ~comp:"exec" "deadline exceeded" (fun () ->
+            [
+              Obs.Log.i "request_id" tk.tk_req.rq_id;
+              Obs.Log.i "completed" completed;
+              Obs.Log.i "queries" (Array.length tk.tk_req.rq_queries);
+            ])
+  | Cancelled { completed; _ } ->
+      if Obs.Log.would_log Obs.Log.Info then
+        Obs.Log.info ~comp:"exec" "request cancelled" (fun () ->
+            [ Obs.Log.i "request_id" tk.tk_req.rq_id; Obs.Log.i "completed" completed ])
+  | Ok _ | Degraded _ | Overloaded -> ());
   if Obs.Control.enabled () then begin
     (match outcome with
     | Deadline_exceeded _ -> Obs.Metrics.incr tk.tk_pool.c_deadline
@@ -327,11 +409,23 @@ let cached_reader ?cache_blocks db =
 let execute tk ?cache_blocks db =
   tk.tk_served_by <- (Domain.self () :> int);
   let req = tk.tk_req in
+  let obs = Obs.Control.enabled () in
+  let slow = Obs.Slowlog.enabled () in
+  let pickup_ns = if obs || slow then Obs.Trace.now_ns () else 0 in
+  if obs then begin
+    (* the queued interval: stamped at submit on the submitting domain,
+       measured here on the worker — hence [record], not a span *)
+    let wait = max 0 (pickup_ns - tk.tk_submitted_ns) in
+    Obs.Metrics.observe Obs.Metrics.default "exec.queue_wait.ns" wait;
+    Obs.Trace.record ~request_id:req.rq_id ~t0_ns:tk.tk_submitted_ns ~dur_ns:wait
+      "exec.queue_wait"
+  end;
   let qs = req.rq_queries in
   let n = Array.length qs in
   let out = Array.make n [] in
   let faults = ref [] in
   let completed = ref 0 in
+  let blocks = ref 0 and hits = ref 0 and misses = ref 0 in
   let h = Cancel.create ~deadline_ns:req.rq_deadline_ns ~flag:tk.tk_flag () in
   let reason = ref `None in
   if Cancel.cancelled h then reason := `Cancel
@@ -341,27 +435,42 @@ let execute tk ?cache_blocks db =
     reason := `Deadline
   else begin
     let r = cached_reader ?cache_blocks db in
+    let r0 = if slow then Io_stats.reads (Db.reader_io r) else 0 in
+    let h0 = if slow then Read_context.cache_hits r else 0 in
+    let m0 = if slow then Read_context.cache_misses r else 0 in
     let i = ref 0 in
     (* installed once for the whole batch, same as the cooperative path *)
-    Cancel.install h (fun () ->
-        while !reason = `None && !i < n do
-          if Cancel.cancelled h then reason := `Cancel
-          else if !completed > 0 && Cancel.expired h then reason := `Deadline
-          else begin
-            Cancel.set_deadline_enabled h (!completed > 0);
-            (match query_one ~degraded_ok:req.rq_degraded_ok db r qs.(!i) with
-            | ids, fs ->
-                out.(!i) <- ids;
-                if fs <> [] then faults := List.rev_append fs !faults;
-                incr completed
-            | exception Cancel.Cancelled Cancel.Deadline -> reason := `Deadline
-            | exception Cancel.Cancelled Cancel.Explicit -> reason := `Cancel
-            | exception (Segdb_io.Failpoint.Injected_crash _ as e) ->
-                raise e (* models process death: kill this worker *)
-            | exception e -> reason := `Fault (Printexc.to_string e));
-            incr i
-          end
-        done)
+    let body () =
+      Cancel.install h (fun () ->
+          while !reason = `None && !i < n do
+            if Cancel.cancelled h then reason := `Cancel
+            else if !completed > 0 && Cancel.expired h then reason := `Deadline
+            else begin
+              Cancel.set_deadline_enabled h (!completed > 0);
+              (match query_one ~degraded_ok:req.rq_degraded_ok db r qs.(!i) with
+              | ids, fs ->
+                  out.(!i) <- ids;
+                  if fs <> [] then faults := List.rev_append fs !faults;
+                  incr completed
+              | exception Cancel.Cancelled Cancel.Deadline -> reason := `Deadline
+              | exception Cancel.Cancelled Cancel.Explicit -> reason := `Cancel
+              | exception (Segdb_io.Failpoint.Injected_crash _ as e) ->
+                  raise e (* models process death: kill this worker *)
+              | exception e -> reason := `Fault (Printexc.to_string e));
+              incr i
+            end
+          done)
+    in
+    let traced () =
+      if req.rq_trace && obs then Obs.Trace.with_span "exec.batch" body else body ()
+    in
+    (* attribute the worker's storage spans to the request *)
+    if obs then Obs.Trace.with_request_id req.rq_id traced else traced ();
+    if slow then begin
+      blocks := Io_stats.reads (Db.reader_io r) - r0;
+      hits := Read_context.cache_hits r - h0;
+      misses := Read_context.cache_misses r - m0
+    end
   end;
   let outcome =
     match !reason with
@@ -372,6 +481,15 @@ let execute tk ?cache_blocks db =
     | `Cancel -> Cancelled { partial = out; completed = !completed }
     | `Fault m -> Degraded (out, List.rev (m :: !faults))
   in
+  if obs then
+    Obs.Metrics.observe Obs.Metrics.default "exec.service.ns"
+      (Obs.Trace.now_ns () - pickup_ns);
+  if slow then
+    Obs.Slowlog.note ~wall_ns:(Obs.Trace.now_ns () - tk.tk_submitted_ns) (fun () ->
+        slowlog_entry ~request_id:req.rq_id
+          ~wall_ns:(Obs.Trace.now_ns () - tk.tk_submitted_ns)
+          ~queue_wait_ns:(max 0 (pickup_ns - tk.tk_submitted_ns))
+          ~blocks:!blocks ~cache_hits:!hits ~cache_misses:!misses req outcome);
   finish tk outcome
 
 let submit ?cache_blocks ?on_complete pool db req =
@@ -406,7 +524,16 @@ let submit ?cache_blocks ?on_complete pool db req =
     Condition.signal pool.c
   end;
   Mutex.unlock pool.m;
-  if not admitted then finish tk Overloaded;
+  if not admitted then begin
+    if Obs.Log.would_log Obs.Log.Warn then
+      Obs.Log.warn ~comp:"exec" "request refused: queue full" (fun () ->
+          [
+            Obs.Log.i "request_id" req.rq_id;
+            Obs.Log.i "queue_depth" pool.queue_depth;
+            Obs.Log.i "queries" (Array.length req.rq_queries);
+          ]);
+    finish tk Overloaded
+  end;
   tk
 
 let await tk =

@@ -26,8 +26,13 @@ module Db = Segdb_core.Segdb
 
     Pool metrics land in [Segdb_obs.Metrics.default] when observability
     is on: [exec.queue_depth] (gauge), [exec.request.ns] (histogram
-    over submitted requests), [exec.deadline_exceeded] and
-    [exec.cancelled] (counters). *)
+    over submitted requests, decomposed into [exec.queue_wait.ns] —
+    submit to worker pickup — and [exec.service.ns] — pickup to
+    completion), [exec.deadline_exceeded] and [exec.cancelled]
+    (counters). Submitted requests additionally feed the slow-query
+    log ([Segdb_obs.Slowlog]) when its threshold is armed, and
+    admission refusals / deadline cuts / cancellations emit
+    [Segdb_obs.Log] events under the ["exec"] component. *)
 
 (** {1 Requests and outcomes} *)
 
@@ -36,7 +41,12 @@ type request
     Immutable; a request may be run or submitted more than once. *)
 
 val request :
-  ?deadline_ms:int -> ?degraded_ok:bool -> ?trace:bool -> Vquery.t array -> request
+  ?deadline_ms:int ->
+  ?degraded_ok:bool ->
+  ?trace:bool ->
+  ?request_id:int ->
+  Vquery.t array ->
+  request
 (** [request qs] describes executing the batch [qs].
 
     - [deadline_ms]: budget from {e now} (the clock starts at
@@ -55,11 +65,20 @@ val request :
       process death, not a servable fault.
     - [trace] (default [false]): wrap execution in a
       [Segdb_obs.Trace] span (["exec.batch"]) when observability is
-      enabled. *)
+      enabled.
+    - [request_id]: the id every trace span recorded while executing
+      this request is attributed to — pass the id a remote client
+      generated to stitch its timeline across processes. Absent (or
+      [0]), a fresh id is drawn from
+      [Segdb_obs.Trace.fresh_request_id]. *)
 
 val queries : request -> Vquery.t array
 val deadline_ns : request -> int
 (** Absolute deadline in [Trace.now_ns] time, [0] when none. *)
+
+val request_id : request -> int
+(** The id the request's spans and slow-query records carry. Never
+    [0]. *)
 
 type outcome =
   | Ok of int list array
@@ -82,6 +101,11 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line summary: constructor, completed/total, fault count. *)
+
+val outcome_name : outcome -> string
+(** The constructor as a lowercase word ("ok", "degraded", "deadline",
+    "overloaded", "cancelled") — what wire answers, slow-query records
+    and log events use. *)
 
 (** {1 The pool} *)
 

@@ -52,8 +52,23 @@ let open_ ?(sync = true) path =
   let existing = if Sys.file_exists path then read_file path else "" in
   let records, valid = valid_prefix existing in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  if String.length existing > valid then Unix.ftruncate fd valid;
+  if String.length existing > valid then begin
+    Unix.ftruncate fd valid;
+    Segdb_obs.Log.warn ~comp:"wal" "torn tail truncated" (fun () ->
+        [
+          Segdb_obs.Log.s "path" path;
+          Segdb_obs.Log.i "dropped_bytes" (String.length existing - valid);
+          Segdb_obs.Log.i "valid_bytes" valid;
+        ])
+  end;
   ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  if records <> [] then
+    Segdb_obs.Log.info ~comp:"wal" "log replayed" (fun () ->
+        [
+          Segdb_obs.Log.s "path" path;
+          Segdb_obs.Log.i "records" (List.length records);
+          Segdb_obs.Log.i "bytes" valid;
+        ]);
   Probe.bump_by c_replayed (List.length records);
   ( { path; fd; sync_every_append = sync; bytes = valid; count = List.length records },
     records )

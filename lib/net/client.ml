@@ -153,6 +153,8 @@ let unexpected what resp =
     | Wire.Batch_ids _ -> "batch ids"
     | Wire.Stats_payload _ -> "stats"
     | Wire.Shutdown_ack -> "shutdown ack"
+    | Wire.Trace_events _ -> "trace events"
+    | Wire.Slowlog_payload _ -> "slowlog"
   in
   raise (Error (Printf.sprintf "expected %s, got %s" what got))
 
@@ -172,6 +174,22 @@ let batch t qs =
   | Wire.Batch_ids { results; complete; faults } ->
       { Db.Degraded.value = results; complete; faults }
   | r -> unexpected "batch ids" r
+
+let batch_ex t ?(request_id = 0) ?(trace = false) qs =
+  match rpc t (Wire.Batch_ex { request_id; trace; queries = qs }) with
+  | Wire.Batch_ids { results; complete; faults } ->
+      { Db.Degraded.value = results; complete; faults }
+  | r -> unexpected "batch ids" r
+
+let fetch_trace t ~request_id =
+  match rpc t (Wire.Trace_fetch { request_id }) with
+  | Wire.Trace_events evs -> evs
+  | r -> unexpected "trace events" r
+
+let slowlog t fmt =
+  match rpc t (Wire.Slowlog fmt) with
+  | Wire.Slowlog_payload s -> s
+  | r -> unexpected "slowlog" r
 
 let stats t fmt =
   match rpc t (Wire.Stats fmt) with

@@ -46,6 +46,23 @@ val batch : t -> Vquery.t array -> int list array Db.Degraded.t
 (** Element [i] is exactly what in-process [Segdb.query_ids] on query
     [i] would return. *)
 
+val batch_ex :
+  t -> ?request_id:int -> ?trace:bool -> Vquery.t array -> int list array Db.Degraded.t
+(** {!batch} with observability: [request_id] (a value from
+    [Segdb_obs.Trace.fresh_request_id]) is attached to every span the
+    server records while serving the batch, and [trace] asks it to
+    bracket execution in an ["exec.batch"] span. Follow with
+    {!fetch_trace} to pull those spans back. An old server answers the
+    new tag with [Bad_request] (raised as {!Error}). *)
+
+val fetch_trace : t -> request_id:int -> Segdb_obs.Trace.event list
+(** The server's retained trace events for one request, in recording
+    order. Empty when the server's observability is off or its ring
+    wrapped past the request. *)
+
+val slowlog : t -> [ `Text | `Json ] -> string
+(** The server's slow-query log, pre-rendered. *)
+
 val stats : t -> [ `Text | `Json | `Prometheus ] -> string
 val shutdown : t -> unit
 

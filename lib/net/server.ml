@@ -6,6 +6,8 @@ module Metrics = Segdb_obs.Metrics
 module Control = Segdb_obs.Control
 module Trace = Segdb_obs.Trace
 module Export = Segdb_obs.Export
+module Log = Segdb_obs.Log
+module Slowlog = Segdb_obs.Slowlog
 
 (* ---------------- addresses ---------------- *)
 
@@ -123,8 +125,13 @@ let respond t conn resp =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.wlock)
     (fun () ->
+      let t0 = if Control.enabled () then Trace.now_ns () else 0 in
       match Wire.send conn.fd s with
-      | () -> if Control.enabled () then Metrics.add t.m_bytes_out (String.length s)
+      | () ->
+          if t0 <> 0 then begin
+            Metrics.add t.m_bytes_out (String.length s);
+            Metrics.observe Metrics.default "net.write.ns" (Trace.now_ns () - t0)
+          end
       | exception Unix.Unix_error (_, _, _) -> Atomic.set conn.closing true)
 
 (* ---------------- request execution (via the engine) ---------------- *)
@@ -178,18 +185,35 @@ let response_of_outcome t ~kind (o : Exec.outcome) =
 let submit_query t conn req =
   Atomic.incr conn.pending;
   let t0 = Trace.now_ns () in
-  let qs, kind =
+  let qs, kind, rid, trace =
     match req with
-    | Wire.Query q -> ([| q |], `Query)
-    | Wire.Count q -> ([| q |], `Count)
-    | Wire.Batch qs -> (qs, `Batch)
-    | Wire.Ping | Wire.Shutdown | Wire.Stats _ -> assert false
+    | Wire.Query q -> ([| q |], `Query, 0, false)
+    | Wire.Count q -> ([| q |], `Count, 0, false)
+    | Wire.Batch qs -> (qs, `Batch, 0, false)
+    | Wire.Batch_ex { request_id; trace; queries } -> (queries, `Batch, request_id, trace)
+    | Wire.Ping | Wire.Shutdown | Wire.Stats _ | Wire.Trace_fetch _ | Wire.Slowlog _ ->
+        assert false
   in
-  let ereq = Exec.request ~deadline_ms:t.deadline_ms qs in
+  let ereq =
+    Exec.request ~deadline_ms:t.deadline_ms
+      ?request_id:(if rid <> 0 then Some rid else None)
+      ~trace qs
+  in
   let on_complete outcome =
     respond t conn (response_of_outcome t ~kind outcome);
-    if Control.enabled () then
-      Metrics.observe Metrics.default "net.request.ns" (Trace.now_ns () - t0);
+    (match outcome with
+    | Exec.Overloaded when Log.would_log Log.Warn ->
+        Log.warn ~comp:"server" "request refused: overloaded" (fun () ->
+            [ Log.s "peer" conn.peer; Log.i "queries" (Array.length qs) ])
+    | _ -> ());
+    if Control.enabled () then begin
+      let now = Trace.now_ns () in
+      Metrics.observe Metrics.default "net.request.ns" (now - t0);
+      (* the server-side envelope of the request: receipt to response
+         written, bridging the accept loop and the worker domain *)
+      Trace.record ~request_id:(Exec.request_id ereq) ~t0_ns:t0 ~dur_ns:(now - t0)
+        "server.request"
+    end;
     Atomic.decr conn.pending
   in
   ignore (Exec.submit ?cache_blocks:t.cache_blocks ~on_complete t.pool t.db ereq)
@@ -201,10 +225,23 @@ let dispatch t conn req =
   match req with
   | Wire.Ping -> respond t conn Wire.Pong
   | Wire.Shutdown ->
+      Log.info ~comp:"server" "shutdown frame received; draining" (fun () ->
+          [ Log.s "peer" conn.peer ]);
       respond t conn Wire.Shutdown_ack;
       stop t
   | Wire.Stats fmt -> respond t conn (Wire.Stats_payload (stats_payload t fmt))
-  | Wire.Query _ | Wire.Count _ | Wire.Batch _ ->
+  | Wire.Trace_fetch { request_id } ->
+      (* inline like Stats: a read of the trace ring, no execution *)
+      let evs =
+        List.filter (fun (e : Trace.event) -> e.Trace.request_id = request_id) (Trace.events ())
+      in
+      respond t conn (Wire.Trace_events evs)
+  | Wire.Slowlog fmt ->
+      let es = Slowlog.entries () in
+      respond t conn
+        (Wire.Slowlog_payload
+           (match fmt with `Text -> Slowlog.to_text es | `Json -> Slowlog.to_json es))
+  | Wire.Query _ | Wire.Count _ | Wire.Batch _ | Wire.Batch_ex _ ->
       if Atomic.get t.stopping then respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
       else submit_query t conn req
 
@@ -232,10 +269,16 @@ let parse_frames t conn =
               String.sub buf (Wire.header_bytes + len) (have - Wire.header_bytes - len);
             match Wire.check_payload ~crc payload with
             | Result.Error e ->
+                Log.warn ~comp:"server" "corrupt frame; closing stream" (fun () ->
+                    [ Log.s "peer" conn.peer; Log.s "error" (Wire.protocol_error_to_string e) ]);
                 respond t conn (Wire.Error (Wire.Corrupt_frame, Wire.protocol_error_to_string e));
                 Atomic.set conn.closing true
             | Result.Ok payload -> (
-                match Wire.decode_request payload with
+                let t_dec = if Control.enabled () then Trace.now_ns () else 0 in
+                let decoded = Wire.decode_request payload in
+                if t_dec <> 0 then
+                  Metrics.observe Metrics.default "net.decode.ns" (Trace.now_ns () - t_dec);
+                match decoded with
                 | Result.Error e ->
                     respond t conn
                       (Wire.Error (Wire.Bad_request, Wire.protocol_error_to_string e))
@@ -266,10 +309,12 @@ let accept_conn t conns =
       (match t.bound with
       | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
       | Unix_path _ -> ());
+      let peer = peer_string fd in
+      Log.info ~comp:"server" "connection accepted" (fun () -> [ Log.s "peer" peer ]);
       conns :=
         {
           fd;
-          peer = peer_string fd;
+          peer;
           inbuf = "";
           wlock = Mutex.create ();
           pending = Atomic.make 0;
@@ -310,11 +355,19 @@ let run t =
   (* drain: no new connections or requests; answer what is queued, then
      stop the pool (joins its worker domains) *)
   (try Unix.close t.lfd with Unix.Unix_error (_, _, _) -> ());
+  Log.info ~comp:"server" "draining" (fun () ->
+      [
+        Log.s "addr" (addr_to_string t.bound);
+        Log.i "connections" (List.length !conns);
+        Log.i "pending" (List.fold_left (fun a c -> a + Atomic.get c.pending) 0 !conns);
+      ]);
   let drained () = List.for_all (fun c -> Atomic.get c.pending = 0) !conns in
   while not (drained ()) do
     Unix.sleepf 0.002
   done;
   Exec.shutdown t.pool;
+  Log.info ~comp:"server" "drained; pool stopped" (fun () ->
+      [ Log.s "addr" (addr_to_string t.bound) ]);
   List.iter (fun c -> Atomic.set c.closing true) !conns;
   List.iter (fun c -> Atomic.set c.pending 0) !conns;
   reap conns;

@@ -2,6 +2,7 @@ open Segdb_geom
 module Codec = Segdb_io.Codec
 module Crc = Segdb_io.Crc
 module Failpoint = Segdb_io.Failpoint
+module Trace = Segdb_obs.Trace
 
 type request =
   | Ping
@@ -10,6 +11,9 @@ type request =
   | Batch of Vquery.t array
   | Stats of [ `Text | `Json | `Prometheus ]
   | Shutdown
+  | Batch_ex of { request_id : int; trace : bool; queries : Vquery.t array }
+  | Trace_fetch of { request_id : int }
+  | Slowlog of [ `Text | `Json ]
 
 type error_code =
   | Overloaded
@@ -27,6 +31,8 @@ type response =
   | Stats_payload of string
   | Error of error_code * string
   | Shutdown_ack
+  | Trace_events of Trace.event list
+  | Slowlog_payload of string
 
 type protocol_error =
   | Truncated
@@ -89,6 +95,39 @@ let fmt_of_tag = function
   | 2 -> `Prometheus
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown stats format %d" t))
 
+let dump_fmt_to_tag = function `Text -> 0 | `Json -> 1
+
+let dump_fmt_of_tag = function
+  | 0 -> `Text
+  | 1 -> `Json
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown slowlog format %d" t))
+
+(* Trace events travel with every field explicit; [u64] holds any
+   non-negative OCaml int, which all of them are by construction. *)
+let write_event b (e : Trace.event) =
+  Codec.W.u64 b e.Trace.seq;
+  Codec.W.str b e.Trace.phase;
+  Codec.W.u64 b e.Trace.depth;
+  Codec.W.u64 b e.Trace.t0_ns;
+  Codec.W.u64 b e.Trace.dur_ns;
+  Codec.W.u64 b e.Trace.blocks;
+  Codec.W.u64 b e.Trace.request_id;
+  Codec.W.u64 b e.Trace.dom
+
+let read_event r =
+  let seq = Codec.R.u64 r in
+  let phase = Codec.R.str r in
+  let depth = Codec.R.u64 r in
+  let t0_ns = Codec.R.u64 r in
+  let dur_ns = Codec.R.u64 r in
+  let blocks = Codec.R.u64 r in
+  let request_id = Codec.R.u64 r in
+  let dom = Codec.R.u64 r in
+  { Trace.seq; phase; depth; t0_ns; dur_ns; blocks; request_id; dom }
+
+let event_codec : Trace.event Codec.t = { Codec.write = write_event; read = read_event }
+let events_codec = Codec.list event_codec
+
 let code_to_tag = function
   | Overloaded -> 1
   | Deadline -> 2
@@ -126,7 +165,18 @@ let request_payload req =
   | Stats fmt ->
       Codec.W.u8 b 5;
       Codec.W.u8 b (fmt_to_tag fmt)
-  | Shutdown -> Codec.W.u8 b 6);
+  | Shutdown -> Codec.W.u8 b 6
+  | Batch_ex { request_id; trace; queries } ->
+      Codec.W.u8 b 7;
+      Codec.W.u64 b request_id;
+      Codec.bool.Codec.write b trace;
+      vqueries_codec.Codec.write b queries
+  | Trace_fetch { request_id } ->
+      Codec.W.u8 b 8;
+      Codec.W.u64 b request_id
+  | Slowlog fmt ->
+      Codec.W.u8 b 9;
+      Codec.W.u8 b (dump_fmt_to_tag fmt));
   Buffer.contents b
 
 let response_payload resp =
@@ -153,7 +203,13 @@ let response_payload resp =
       Codec.W.u8 b 133;
       Codec.W.u8 b (code_to_tag code);
       Codec.W.str b msg
-  | Shutdown_ack -> Codec.W.u8 b 134);
+  | Shutdown_ack -> Codec.W.u8 b 134
+  | Trace_events evs ->
+      Codec.W.u8 b 135;
+      events_codec.Codec.write b evs
+  | Slowlog_payload s ->
+      Codec.W.u8 b 136;
+      Codec.W.str b s);
   Buffer.contents b
 
 (* Total decoding: anything [Codec] or a [Vquery] constructor rejects
@@ -184,6 +240,13 @@ let decode_request payload =
       | 4 -> Some (Batch (vqueries_codec.Codec.read r))
       | 5 -> Some (Stats (fmt_of_tag (Codec.R.u8 r)))
       | 6 -> Some Shutdown
+      | 7 ->
+          let request_id = Codec.R.u64 r in
+          let trace = Codec.bool.Codec.read r in
+          let queries = vqueries_codec.Codec.read r in
+          Some (Batch_ex { request_id; trace; queries })
+      | 8 -> Some (Trace_fetch { request_id = Codec.R.u64 r })
+      | 9 -> Some (Slowlog (dump_fmt_of_tag (Codec.R.u8 r)))
       | _ -> None)
 
 let decode_response payload =
@@ -207,6 +270,8 @@ let decode_response payload =
           let msg = Codec.R.str r in
           Some (Error (code, msg))
       | 134 -> Some Shutdown_ack
+      | 135 -> Some (Trace_events (events_codec.Codec.read r))
+      | 136 -> Some (Slowlog_payload (Codec.R.str r))
       | _ -> None)
 
 (* ---------------- framing ---------------- *)

@@ -22,7 +22,13 @@
 open Segdb_geom
 
 (** What a client can ask. Queries are read-only and therefore safe to
-    retry; [Shutdown] requests a graceful drain. *)
+    retry; [Shutdown] requests a graceful drain.
+
+    Tags added after the first release ([Batch_ex], [Trace_fetch],
+    [Slowlog]) rely on the unknown-tag rule for compatibility: an old
+    server answers them [Error (Bad_request, _)] and keeps the stream
+    up, so a new client talking to an old peer degrades instead of
+    wedging. *)
 type request =
   | Ping
   | Query of Vquery.t
@@ -30,6 +36,17 @@ type request =
   | Batch of Vquery.t array
   | Stats of [ `Text | `Json | `Prometheus ]
   | Shutdown
+  | Batch_ex of { request_id : int; trace : bool; queries : Vquery.t array }
+      (** [Batch] plus observability: the client-generated request id
+          is carried into every span the server records while serving
+          it, and [trace] asks the server to bracket execution in an
+          ["exec.batch"] span. Answered with {!Batch_ids}. *)
+  | Trace_fetch of { request_id : int }
+      (** Return the server's retained trace events for one request
+          (as {!Trace_events}) — how a client reassembles the full
+          client→server→storage timeline after a traced batch. *)
+  | Slowlog of [ `Text | `Json ]
+      (** Dump the server's slow-query log (as {!Slowlog_payload}). *)
 
 (** Typed failure channel carried in {!Error} responses. The split
     matters to the client's retry policy: [Overloaded] and
@@ -55,6 +72,12 @@ type response =
   | Stats_payload of string
   | Error of error_code * string
   | Shutdown_ack
+  | Trace_events of Segdb_obs.Trace.event list
+      (** A {!Trace_fetch} answer: the server's retained events for
+          the requested id, in recording order. Empty when
+          observability was off or the ring wrapped past them. *)
+  | Slowlog_payload of string
+      (** A {!Slowlog} answer, pre-rendered in the requested format. *)
 
 type protocol_error =
   | Truncated  (** the stream ended mid-frame *)

@@ -195,6 +195,64 @@ let trace_text events =
     events;
   Buffer.contents buf
 
+(* The stitched per-request view: events from several processes and
+   domains (a client's ring merged with what the server returned over
+   the wire), ordered by wall-clock start. Seqs from different
+   processes are incomparable, so ties on t0 fall back to (dom, seq)
+   only to make the output deterministic. *)
+let timeline events =
+  let events =
+    List.sort
+      (fun (a : Trace.event) (b : Trace.event) ->
+        compare (a.t0_ns, a.dom, a.seq) (b.t0_ns, b.dom, b.seq))
+      events
+  in
+  let t_base =
+    List.fold_left (fun acc (ev : Trace.event) -> min acc ev.t0_ns) max_int events
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t+ms       dur(us)    dom  blocks  phase\n";
+  List.iter
+    (fun (ev : Trace.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10.3f %-10.1f %-4d %7d  %s%s\n"
+           (float_of_int (ev.t0_ns - t_base) /. 1e6)
+           (float_of_int ev.dur_ns /. 1e3)
+           ev.dom ev.blocks
+           (String.make (2 * ev.depth) ' ')
+           ev.phase))
+    events;
+  Buffer.contents buf
+
+(* Chrome trace-event JSON (the "JSON array format" with complete "X"
+   events), loadable in Perfetto / chrome://tracing. Timestamps are
+   microseconds; request ids map to pids and domains to tids, so a
+   request groups as one "process" with one track per domain. *)
+let trace_json events =
+  let events =
+    List.sort
+      (fun (a : Trace.event) (b : Trace.event) ->
+        compare (a.t0_ns, a.dom, a.seq) (b.t0_ns, b.dom, b.seq))
+      events
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  List.iteri
+    (fun i (ev : Trace.event) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"name\": \"%s\", \"cat\": \"segdb\", \"ph\": \"X\", \"ts\": %.3f, \
+            \"dur\": %.3f, \"pid\": %d, \"tid\": %d, \"args\": {\"seq\": %d, \
+            \"depth\": %d, \"blocks\": %d}}"
+           (json_escape ev.phase)
+           (float_of_int ev.t0_ns /. 1e3)
+           (float_of_int ev.dur_ns /. 1e3)
+           ev.request_id ev.dom ev.seq ev.depth ev.blocks))
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
 (* Per-phase roll-up of the span histograms ([span.<phase>.ns] paired
    with [span.<phase>.blocks]) — the table the bench and the CLI's
    --trace flag print. *)

@@ -22,6 +22,18 @@ val prometheus : ?labels:(string * string) list -> Metrics.t -> string
 val trace_text : Trace.event list -> string
 (** The span dump: one line per event, indented by nesting depth. *)
 
+val timeline : Trace.event list -> string
+(** The stitched per-request view: events (possibly merged from
+    several processes — a client's ring plus what a server returned
+    over the wire) ordered by wall-clock start, with offsets relative
+    to the earliest event and the recording domain shown per line. *)
+
+val trace_json : Trace.event list -> string
+(** Chrome trace-event JSON (complete ["X"] events, timestamps in
+    microseconds), loadable in Perfetto or [chrome://tracing]. Request
+    ids map to [pid] and recording domains to [tid], so one request
+    renders as a process with one track per domain. *)
+
 val phase_summary : Metrics.t -> string
 (** Per-phase percentile table built from the [span.<phase>.ns] /
     [span.<phase>.blocks] histogram pairs in the registry. *)

@@ -1,0 +1,142 @@
+(* The slow-query log: a bounded ring of structured records for
+   requests whose wall time cleared a threshold.
+
+   Disabled by default (threshold < 0), and the disabled check is one
+   [Atomic.get] ([enabled]). A threshold of 0 records every request —
+   useful for smoke tests and short captures. Recording serializes on
+   one mutex; by construction only slow requests get here, so the lock
+   is uncontended exactly when it matters. *)
+
+type entry = {
+  request_id : int;
+  query : string;  (* rendering of the (first) query rect *)
+  queries : int;  (* batch size *)
+  outcome : string;
+  wall_ns : int;
+  queue_wait_ns : int;
+  blocks : int;
+  cache_hits : int;
+  cache_misses : int;
+  at_ns : int;  (* completion wall-clock stamp *)
+}
+
+(* -1 = disabled. Stored in ns so the hot-path compare needs no unit
+   conversion. *)
+let threshold_ns = Atomic.make (-1)
+
+let enabled () = Atomic.get threshold_ns >= 0
+
+let set_threshold_ms ms =
+  Atomic.set threshold_ns (if ms < 0 then -1 else ms * 1_000_000)
+
+let threshold_ms () =
+  let t = Atomic.get threshold_ns in
+  if t < 0 then -1 else t / 1_000_000
+
+let mu = Mutex.create ()
+let default_capacity = 128
+let slots = ref (Array.make default_capacity None)
+let next = ref 0
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Slowlog.set_capacity: capacity must be positive";
+  locked (fun () ->
+      slots := Array.make n None;
+      next := 0)
+
+let clear () =
+  locked (fun () ->
+      Array.fill !slots 0 (Array.length !slots) None;
+      next := 0)
+
+let record e =
+  locked (fun () ->
+      !slots.(!next mod Array.length !slots) <- Some e;
+      next := !next + 1)
+
+let note ~wall_ns mk =
+  let t = Atomic.get threshold_ns in
+  if t >= 0 && wall_ns >= t then record (mk ())
+
+let entries () =
+  locked (fun () ->
+      let n = Array.length !slots in
+      let acc = ref [] in
+      for k = 0 to n - 1 do
+        match !slots.((!next + k) mod n) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      List.rev !acc)
+
+(* ---------------- rendering ---------------- *)
+
+let to_text es =
+  if es = [] then "(slow-query log empty)\n"
+  else begin
+    let module Table = Segdb_util.Table in
+    let t =
+      Table.create ~title:"slow queries"
+        ~columns:
+          [ "req"; "query"; "n"; "outcome"; "wall ms"; "wait ms"; "blocks"; "hit"; "miss" ]
+    in
+    List.iter
+      (fun e ->
+        Table.add_row t
+          [
+            Printf.sprintf "%x" e.request_id;
+            e.query;
+            Table.cell_int e.queries;
+            e.outcome;
+            Table.cell_float ~decimals:2 (float_of_int e.wall_ns /. 1e6);
+            Table.cell_float ~decimals:2 (float_of_int e.queue_wait_ns /. 1e6);
+            Table.cell_int e.blocks;
+            Table.cell_int e.cache_hits;
+            Table.cell_int e.cache_misses;
+          ])
+      es;
+    Table.render t
+  end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json es =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun idx e ->
+      if idx > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"request_id\": %d, \"query\": \"%s\", \"queries\": %d, \
+            \"outcome\": \"%s\", \"wall_ns\": %d, \"queue_wait_ns\": %d, \
+            \"blocks\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+            \"at_ns\": %d}"
+           e.request_id (json_escape e.query) e.queries (json_escape e.outcome)
+           e.wall_ns e.queue_wait_ns e.blocks e.cache_hits e.cache_misses e.at_ns))
+    es;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let configure_from_env () =
+  match Sys.getenv_opt "SEGDB_SLOW_MS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some ms -> set_threshold_ms ms
+      | None -> ())
+  | None -> ()

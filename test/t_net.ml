@@ -28,6 +28,8 @@ let resp_name = function
   | Wire.Stats_payload _ -> "stats_payload"
   | Wire.Error (c, m) -> Printf.sprintf "error %s: %s" (Wire.error_code_to_string c) m
   | Wire.Shutdown_ack -> "shutdown_ack"
+  | Wire.Trace_events _ -> "trace_events"
+  | Wire.Slowlog_payload _ -> "slowlog_payload"
 
 (* ---------------- generators ---------------- *)
 
@@ -57,6 +59,13 @@ let gen_request =
         map (fun qs -> Wire.Batch (Array.of_list qs)) (list_size (int_bound 8) gen_vquery);
         map (fun f -> Wire.Stats f) (oneofl [ `Text; `Json; `Prometheus ]);
         return Wire.Shutdown;
+        map3
+          (fun request_id trace qs ->
+            Wire.Batch_ex { request_id; trace; queries = Array.of_list qs })
+          (int_bound 1_000_000_000) bool
+          (list_size (int_bound 8) gen_vquery);
+        map (fun request_id -> Wire.Trace_fetch { request_id }) (int_bound 1_000_000_000);
+        map (fun f -> Wire.Slowlog f) (oneofl [ `Text; `Json ]);
       ])
 
 let gen_ids = QCheck.Gen.(list_size (int_bound 16) (int_bound 1_000_000))
@@ -92,6 +101,26 @@ let gen_response =
              ])
           gen_text;
         return Wire.Shutdown_ack;
+        map
+          (fun evs -> Wire.Trace_events evs)
+          (list_size (int_bound 6)
+             (map
+                (fun ((seq, phase, depth), (t0_ns, dur_ns, blocks), (request_id, dom)) ->
+                  {
+                    Obs.Trace.seq;
+                    phase;
+                    depth;
+                    t0_ns;
+                    dur_ns;
+                    blocks;
+                    request_id;
+                    dom;
+                  })
+                (tup3
+                   (tup3 (int_bound 100_000) gen_text (int_bound 10))
+                   (tup3 (int_bound max_int) (int_bound 1_000_000_000) (int_bound 10_000))
+                   (tup2 (int_bound max_int) (int_bound 64)))));
+        map (fun s -> Wire.Slowlog_payload s) gen_text;
       ])
 
 (* ---------------- wire codec ---------------- *)

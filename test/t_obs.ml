@@ -17,6 +17,30 @@ let contains haystack needle =
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
+(* A tiny JSON well-formedness check: every brace/bracket balances and
+   strings close. Not a full parser, but catches the classic exporter
+   bugs (trailing commas are caught by CI's python -m json.tool; here
+   we guard structure). *)
+let json_balanced s =
+  let depth = ref 0 and ok = ref true and in_str = ref false and esc = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then begin
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
 (* ---------------- histograms ---------------- *)
 
 let test_bucket_boundaries () =
@@ -120,6 +144,61 @@ let test_merge_across_domains () =
   done;
   Alcotest.(check bool) "merged = serial" true (Histogram.equal merged expect)
 
+let test_percentile_edges () =
+  (* empty: every percentile is 0, and p outside [0,1] is rejected *)
+  let h = Histogram.create () in
+  List.iter
+    (fun p -> Alcotest.(check (float 0.0)) "empty" 0.0 (Histogram.percentile h p))
+    [ 0.0; 0.5; 1.0 ];
+  List.iter
+    (fun p ->
+      match Histogram.percentile h p with
+      | _ -> Alcotest.failf "p=%f accepted" p
+      | exception Invalid_argument _ -> ())
+    [ -0.1; 1.5 ];
+  (* a single observation answers every percentile exactly, including
+     one sitting precisely on a bucket's lower bound *)
+  Histogram.record h 1024;
+  List.iter
+    (fun p -> Alcotest.(check (float 0.0)) "single" 1024.0 (Histogram.percentile h p))
+    [ 0.0; 0.25; 0.99; 1.0 ];
+  (* p0 clamps to the observed min even though the estimate
+     interpolates inside dyadic buckets *)
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 3; 50; 700; 9001 ];
+  Alcotest.(check (float 0.0)) "p0 = min" 3.0 (Histogram.percentile h 0.0);
+  Alcotest.(check bool) "p100 <= max" true (Histogram.percentile h 1.0 <= 9001.0);
+  (* values pinned to a bucket bound: when every sample is the same
+     bound, the min/max clamp makes every percentile exact *)
+  List.iter
+    (fun b ->
+      let lo, hi = Histogram.bucket_bounds b in
+      List.iter
+        (fun v ->
+          let h = Histogram.create () in
+          for _ = 1 to 5 do
+            Histogram.record h v
+          done;
+          List.iter
+            (fun p ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "pinned %d p%g" v p)
+                (float_of_int v) (Histogram.percentile h p))
+            [ 0.0; 0.5; 1.0 ])
+        [ lo; hi ])
+    [ 1; 4; 11 ];
+  (* a mixed bucket stays inside its bounds *)
+  let h = Histogram.create () in
+  let lo, hi = Histogram.bucket_bounds 4 in
+  List.iter (Histogram.record h) [ lo; lo; lo; hi ];
+  let p50 = Histogram.percentile h 0.5 in
+  Alcotest.(check bool) "p50 within bucket" true
+    (p50 >= float_of_int lo && p50 <= float_of_int hi);
+  Alcotest.(check (float 0.0)) "p0 pinned lo" (float_of_int lo) (Histogram.percentile h 0.0);
+  let p100 = Histogram.percentile h 1.0 in
+  Alcotest.(check bool) "p100 within bucket, above p50" true
+    (p100 >= p50 && p100 <= float_of_int hi)
+
 (* ---------------- metrics registry ---------------- *)
 
 let test_registry_basics () =
@@ -206,6 +285,249 @@ let test_span_nesting_and_histograms () =
   Control.disable ();
   Trace.with_span "ghost" (fun () -> ());
   Alcotest.(check int) "still three" 3 (List.length (Trace.events ()))
+
+let test_per_domain_rings () =
+  with_tracing @@ fun () ->
+  (* writers on distinct domains record concurrently into private
+     rings; the merged view loses nothing and keeps global seq order *)
+  Array.init 3 (fun k ->
+      Domain.spawn (fun () ->
+          for i = 0 to 49 do
+            Trace.with_span (Printf.sprintf "d%d.%d" k i) (fun () -> ())
+          done))
+  |> Array.iter Domain.join;
+  Trace.with_span "local" (fun () -> ());
+  let evs = Trace.events () in
+  Alcotest.(check int) "all events retained" 151 (List.length evs);
+  let seqs = List.map (fun (e : Trace.event) -> e.seq) evs in
+  Alcotest.(check int) "seqs globally unique" 151
+    (List.length (List.sort_uniq compare seqs));
+  Alcotest.(check bool) "merged view sorted by seq" true
+    (seqs = List.sort compare seqs);
+  let doms = List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.dom) evs) in
+  Alcotest.(check bool) "events tagged with >= 2 domains" true (List.length doms >= 2)
+
+let test_request_ids () =
+  let a = Trace.fresh_request_id () and b = Trace.fresh_request_id () in
+  Alcotest.(check bool) "fresh ids nonzero" true (a <> 0 && b <> 0);
+  Alcotest.(check bool) "fresh ids distinct" true (a <> b);
+  with_tracing @@ fun () ->
+  Alcotest.(check int) "no ambient id" 0 (Trace.current_request_id ());
+  Trace.with_request_id a (fun () ->
+      Alcotest.(check int) "ambient id set" a (Trace.current_request_id ());
+      Trace.with_span "tagged" (fun () -> ());
+      Trace.with_request_id b (fun () -> Trace.with_span "nested" (fun () -> ()));
+      Alcotest.(check int) "inner scope restored" a (Trace.current_request_id ()));
+  Alcotest.(check int) "outer scope restored" 0 (Trace.current_request_id ());
+  Trace.with_span "untagged" (fun () -> ());
+  Trace.record ~request_id:b ~blocks:3 ~t0_ns:1 ~dur_ns:2 "injected";
+  let find p = List.find (fun (e : Trace.event) -> e.phase = p) (Trace.events ()) in
+  Alcotest.(check int) "span carries ambient id" a (find "tagged").request_id;
+  Alcotest.(check int) "nested override wins" b (find "nested").request_id;
+  Alcotest.(check int) "outside scope is 0" 0 (find "untagged").request_id;
+  let inj = find "injected" in
+  Alcotest.(check int) "record carries explicit id" b inj.request_id;
+  Alcotest.(check int) "record keeps interval" 2 inj.dur_ns;
+  Alcotest.(check int) "record keeps blocks" 3 inj.blocks
+
+(* ---------------- trace-event JSON export ---------------- *)
+
+let count_occurrences needle s =
+  let nn = String.length needle in
+  let rec go i acc =
+    if i + nn > String.length s then acc
+    else if String.sub s i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nn = 0 then 0 else go 0 0
+
+let test_trace_json_wellformed () =
+  with_tracing @@ fun () ->
+  let rid = Trace.fresh_request_id () in
+  Trace.with_request_id rid (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "in\"ner" (fun () -> ())));
+  Trace.record ~request_id:rid ~blocks:2 ~t0_ns:0 ~dur_ns:5000 "pinned";
+  let evs = Trace.events () in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let js = Export.trace_json evs in
+  Alcotest.(check bool) "balanced json" true (json_balanced js);
+  Alcotest.(check bool) "phase names escaped" true (contains js "in\\\"ner");
+  (* every event is a complete X event: all mandatory keys, once each *)
+  Alcotest.(check int) "one X per event" 3 (count_occurrences "\"ph\": \"X\"" js);
+  List.iter
+    (fun key -> Alcotest.(check int) key 3 (count_occurrences key js))
+    [ "\"name\": "; "\"ts\": "; "\"dur\": "; "\"pid\": "; "\"tid\": "; "\"args\": " ];
+  Alcotest.(check int) "all events under one request id" 3
+    (count_occurrences (Printf.sprintf "\"pid\": %d" rid) js);
+  (* timestamps come out sorted ascending (one pass for viewers) *)
+  let find_from needle from =
+    let nn = String.length needle in
+    let rec go i =
+      if i + nn > String.length js then None
+      else if String.sub js i nn = needle then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  let ts_values =
+    let marker = "\"ts\": " in
+    let rec collect i acc =
+      match find_from marker i with
+      | None -> List.rev acc
+      | Some j ->
+          let start = j + String.length marker in
+          let stop = String.index_from js start ',' in
+          collect stop (float_of_string (String.sub js start (stop - start)) :: acc)
+    in
+    collect 0 []
+  in
+  Alcotest.(check int) "ts per event" 3 (List.length ts_values);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ts monotone" true (monotone ts_values);
+  (* the injected t0=0 event sorts first *)
+  Alcotest.(check (float 0.0)) "pinned event first" 0.0 (List.hd ts_values)
+
+(* ---------------- structured log ---------------- *)
+
+let test_log_levels_and_ring () =
+  Log.set_stderr false;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_stderr true;
+      Log.set_level None;
+      Log.set_ring 0)
+  @@ fun () ->
+  Log.set_level None;
+  Log.set_ring 4;
+  Alcotest.(check bool) "off: nothing would log" false (Log.would_log Log.Error);
+  let forced = ref false in
+  Log.error ~comp:"t" "dropped" (fun () ->
+      forced := true;
+      []);
+  Alcotest.(check bool) "off: fields never forced" false !forced;
+  Alcotest.(check int) "off: ring untouched" 0 (List.length (Log.ring_events ()));
+  Log.set_level (Some Log.Warn);
+  Alcotest.(check bool) "warn clears threshold" true (Log.would_log Log.Warn);
+  Alcotest.(check bool) "info below threshold" false (Log.would_log Log.Info);
+  Log.info ~comp:"t" "below" (fun () -> [ Log.s "k" "v" ]);
+  Log.warn ~comp:"t" "kept" (fun () -> [ Log.s "peer" "unix:/x y"; Log.i "n" 3 ]);
+  Log.error ~comp:"t" "also kept" (fun () -> [ Log.b "flag" true; Log.f "ms" 1.5 ]);
+  (match Log.ring_events () with
+  | [ w; e ] ->
+      Alcotest.(check string) "ring keeps msg" "kept" w.Log.msg;
+      Alcotest.(check string) "ring keeps comp" "t" w.Log.comp;
+      Alcotest.(check bool) "ring keeps ts" true (w.Log.ts_ns > 0);
+      let wl = Log.render w in
+      Alcotest.(check bool) "renders level" true (contains wl "level=warn");
+      Alcotest.(check bool) "quotes values with spaces" true
+        (contains wl "peer=\"unix:/x y\"");
+      Alcotest.(check bool) "renders ints bare" true (contains wl "n=3");
+      Alcotest.(check bool) "quotes the message" true (contains wl "msg=\"kept\"");
+      let el = Log.render e in
+      Alcotest.(check bool) "renders bools" true (contains el "flag=true");
+      Alcotest.(check bool) "renders floats" true (contains el "ms=1.5")
+  | l -> Alcotest.failf "expected 2 ring events, got %d" (List.length l));
+  (* the ring keeps only the newest n, oldest first *)
+  Log.set_level (Some Log.Debug);
+  for k = 1 to 10 do
+    Log.debug ~comp:"t" (string_of_int k) (fun () -> [])
+  done;
+  let evs = Log.ring_events () in
+  Alcotest.(check int) "ring bounded" 4 (List.length evs);
+  Alcotest.(check (list string)) "newest four, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun (e : Log.event) -> e.msg) evs)
+
+let test_log_render_escaping () =
+  let ev =
+    {
+      Log.ts_ns = 42;
+      lvl = Log.Error;
+      dom = 1;
+      comp = "wal";
+      msg = "torn \"tail\"\ntruncated";
+      fields = [ Log.s "path" "/tmp/a=b"; Log.s "plain" "ok" ];
+    }
+  in
+  let line = Log.render ev in
+  Alcotest.(check bool) "escapes quotes in msg" true (contains line "\\\"tail\\\"");
+  Alcotest.(check bool) "escapes newline in msg" true (contains line "\\n");
+  Alcotest.(check bool) "no raw newline in output" false (String.contains line '\n');
+  Alcotest.(check bool) "quotes values with =" true (contains line "path=\"/tmp/a=b\"");
+  Alcotest.(check bool) "bare values stay bare" true (contains line "plain=ok")
+
+(* ---------------- slow-query log ---------------- *)
+
+let mk_entry ?(request_id = 0xbeef) ?(wall_ns = 7_000_000) query =
+  {
+    Slowlog.request_id;
+    query;
+    queries = 1;
+    outcome = "ok";
+    wall_ns;
+    queue_wait_ns = 1_000_000;
+    blocks = 4;
+    cache_hits = 2;
+    cache_misses = 1;
+    at_ns = 99;
+  }
+
+let test_slowlog_threshold_and_ring () =
+  Fun.protect
+    ~finally:(fun () ->
+      Slowlog.set_threshold_ms (-1);
+      Slowlog.set_capacity 128)
+  @@ fun () ->
+  Slowlog.set_threshold_ms (-1);
+  Slowlog.clear ();
+  Alcotest.(check bool) "disabled by default" false (Slowlog.enabled ());
+  Alcotest.(check int) "threshold readback disabled" (-1) (Slowlog.threshold_ms ());
+  let forced = ref false in
+  Slowlog.note ~wall_ns:max_int (fun () ->
+      forced := true;
+      mk_entry "never");
+  Alcotest.(check bool) "disabled: entry never built" false !forced;
+  Slowlog.set_threshold_ms 5;
+  Alcotest.(check bool) "armed" true (Slowlog.enabled ());
+  Alcotest.(check int) "threshold readback" 5 (Slowlog.threshold_ms ());
+  Slowlog.note ~wall_ns:4_999_999 (fun () ->
+      forced := true;
+      mk_entry "fast");
+  Alcotest.(check bool) "below threshold skipped" false !forced;
+  Slowlog.note ~wall_ns:5_000_000 (fun () -> mk_entry "q1");
+  Slowlog.note ~wall_ns:12_000_000 (fun () -> mk_entry "q2");
+  (match Slowlog.entries () with
+  | [ a; b ] ->
+      Alcotest.(check string) "oldest first" "q1" a.Slowlog.query;
+      Alcotest.(check string) "newest last" "q2" b.Slowlog.query
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  (* threshold 0 records everything; the ring stays bounded *)
+  Slowlog.set_threshold_ms 0;
+  Slowlog.set_capacity 2;
+  for k = 1 to 5 do
+    Slowlog.note ~wall_ns:0 (fun () -> mk_entry (Printf.sprintf "w%d" k))
+  done;
+  Alcotest.(check (list string)) "ring keeps newest two" [ "w4"; "w5" ]
+    (List.map (fun (e : Slowlog.entry) -> e.query) (Slowlog.entries ()))
+
+let test_slowlog_rendering () =
+  let es = [ mk_entry ~request_id:0xabc "VS(x=1, y in [2, 3])"; mk_entry "q\"2" ] in
+  let txt = Slowlog.to_text es in
+  Alcotest.(check bool) "text has hex request id" true (contains txt "abc");
+  Alcotest.(check bool) "text has query" true (contains txt "VS(x=1, y in [2, 3])");
+  Alcotest.(check bool) "empty text placeholder" true
+    (contains (Slowlog.to_text []) "empty");
+  let js = Slowlog.to_json es in
+  Alcotest.(check bool) "json balanced" true (json_balanced js);
+  Alcotest.(check bool) "json escapes queries" true (contains js "q\\\"2");
+  Alcotest.(check bool) "json carries wait split" true
+    (contains js "\"queue_wait_ns\": 1000000");
+  Alcotest.(check bool) "empty json is an empty array" true
+    (json_balanced (Slowlog.to_json []))
 
 (* ---------------- LRU / reader cache stats ---------------- *)
 
@@ -303,30 +625,6 @@ let prop_tracing_is_transparent =
 
 (* ---------------- exporters ---------------- *)
 
-(* A tiny JSON well-formedness check: every brace/bracket balances and
-   strings close. Not a full parser, but catches the classic exporter
-   bugs (trailing commas are caught by CI's python -m json.tool; here
-   we guard structure). *)
-let json_balanced s =
-  let depth = ref 0 and ok = ref true and in_str = ref false and esc = ref false in
-  String.iter
-    (fun c ->
-      if !in_str then begin
-        if !esc then esc := false
-        else if c = '\\' then esc := true
-        else if c = '"' then in_str := false
-      end
-      else
-        match c with
-        | '"' -> in_str := true
-        | '{' | '[' -> incr depth
-        | '}' | ']' ->
-            decr depth;
-            if !depth < 0 then ok := false
-        | _ -> ())
-    s;
-  !ok && !depth = 0 && not !in_str
-
 let exporter_registry () =
   let r = Metrics.create () in
   Metrics.add (Metrics.counter r "io.reads") 42;
@@ -396,12 +694,20 @@ let suite =
     [
       Alcotest.test_case "histogram bucket boundaries" `Quick test_bucket_boundaries;
       Alcotest.test_case "histogram percentiles" `Quick test_percentiles_exact;
+      Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
       qtest prop_merge_associative;
       Alcotest.test_case "cross-domain histogram merge" `Quick test_merge_across_domains;
       Alcotest.test_case "metrics registry basics + merge" `Quick test_registry_basics;
       Alcotest.test_case "io_stats increments are atomic" `Quick test_atomic_io_stats;
       Alcotest.test_case "trace ring wraparound" `Quick test_ring_wraparound;
       Alcotest.test_case "span nesting feeds histograms" `Quick test_span_nesting_and_histograms;
+      Alcotest.test_case "per-domain rings merge losslessly" `Quick test_per_domain_rings;
+      Alcotest.test_case "request-id propagation" `Quick test_request_ids;
+      Alcotest.test_case "trace-event JSON well-formed" `Quick test_trace_json_wellformed;
+      Alcotest.test_case "log levels, ring, logfmt" `Quick test_log_levels_and_ring;
+      Alcotest.test_case "log render escaping" `Quick test_log_render_escaping;
+      Alcotest.test_case "slowlog threshold + ring" `Quick test_slowlog_threshold_and_ring;
+      Alcotest.test_case "slowlog rendering" `Quick test_slowlog_rendering;
       Alcotest.test_case "lru hit/miss counters" `Quick test_lru_hit_miss;
       Alcotest.test_case "reader cache stats" `Quick test_reader_cache_stats;
       Alcotest.test_case "parallel_query_stats" `Quick test_parallel_query_stats;
