@@ -652,6 +652,116 @@ let run_persistence () =
   Sys.remove path;
   Unix.rmdir dir
 
+(* ---------------- replication: catch-up, lag, failover ---------------- *)
+
+(* Three wall-clock figures for the WAL-shipping pair, written to
+   BENCH_PR9.json: how fast a replica replays a primary's WAL tail
+   (records/s), how far a synced replica trails the primary's commits
+   (write-to-ack latency), and how long a kill + promote + client
+   failover takes end to end. *)
+let run_replication () =
+  let module Server = Segdb_net.Server in
+  let module Client = Segdb_net.Client in
+  let module Repl = Segdb_net.Replication in
+  let records = if quick then 1_500 else 6_000 in
+  let writes = if quick then 100 else 300 in
+  let dir = Filename.temp_file "segdb_bench_repl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let psock = Filename.concat dir "p.sock"
+  and rsock = Filename.concat dir "r.sock" in
+  let span = 1000.0 in
+  (* [W.uniform] may come up short of [n]; over-generate and check *)
+  let segs = W.uniform (Rng.create 11) ~n:(2 * (records + writes)) ~span in
+  assert (Array.length segs >= records + writes);
+  (* both nodes start empty: every stored segment travels as a
+     replicated record, so catch-up replays exactly [records] records *)
+  let pdb = Db.create ~backend:`Solution2 ~block:64 [||] in
+  let primary = Server.create ~domains:2 ~db:pdb (Server.Unix_path psock) in
+  Server.start primary;
+  let c = Client.connect (Server.Unix_path psock) in
+  for i = 0 to records - 1 do
+    ignore (Client.insert c segs.(i))
+  done;
+  (* catch-up: a replica that shares the epoch but has nothing replays
+     the whole tail via the records path (no snapshot shortcut) *)
+  let rdb = Db.create ~backend:`Solution2 ~block:64 [||] in
+  let replica =
+    Server.create ~epoch:1 ~replica_of:(Server.Unix_path psock) ~db:rdb
+      (Server.Unix_path rsock)
+  in
+  let t0 = Unix.gettimeofday () in
+  Server.start replica;
+  let deadline = t0 +. 60.0 in
+  while
+    Repl.lsn (Server.replication replica) < records
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.001
+  done;
+  let catchup_s = Unix.gettimeofday () -. t0 in
+  let caught_up = Repl.lsn (Server.replication replica) >= records in
+  let catchup_rps = float_of_int records /. Float.max catchup_s 1e-9 in
+  (* steady-state lag: commit at the primary, wait for the replica's ack *)
+  let ack_ms = ref [] in
+  let prepl = Server.replication primary in
+  for i = 0 to writes - 1 do
+    let w0 = Unix.gettimeofday () in
+    let lsn, _ = Client.insert c segs.(records + i) in
+    while not (List.exists (fun (_, a) -> a >= lsn) (Repl.acks prepl)) do
+      Unix.sleepf 0.0002
+    done;
+    ack_ms := ((Unix.gettimeofday () -. w0) *. 1e3) :: !ack_ms
+  done;
+  let sorted = List.sort compare !ack_ms in
+  let pct p =
+    let a = Array.of_list sorted in
+    a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+  in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  (* failover: kill the primary mid-conversation, promote the replica,
+     and time until a multi-endpoint client answers again *)
+  let fc =
+    Client.connect_many [ Server.Unix_path psock; Server.Unix_path rsock ]
+  in
+  let q = W.segment_queries (Rng.create 13) ~n:1 ~span ~selectivity:0.02 in
+  ignore (Client.query fc q.(0));
+  let rc = Client.connect (Server.Unix_path rsock) in
+  let f0 = Unix.gettimeofday () in
+  Server.kill primary;
+  Client.close c;
+  Server.wait primary;
+  ignore (Client.promote rc);
+  ignore (Client.query fc q.(0));
+  let failover_ms = (Unix.gettimeofday () -. f0) *. 1e3 in
+  Printf.printf
+    "catch-up: %d records in %.3fs (%.0f records/s)%s\n\
+     steady-state write-to-ack: p50 %.2f ms, p99 %.2f ms over %d writes\n\
+     failover (kill + promote + client retarget): %.1f ms\n"
+    records catchup_s catchup_rps
+    (if caught_up then "" else " [DID NOT CONVERGE]")
+    p50 p99 writes failover_ms;
+  Client.close rc;
+  Client.close fc;
+  Server.stop replica;
+  Server.wait replica;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ psock; rsock ];
+  (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ());
+  let oc = open_out "BENCH_PR9.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"catchup\": { \"records\": %d, \"seconds\": %.6g, \"records_per_sec\": \
+     %.6g, \"converged\": %b },\n\
+    \  \"steady_state_lag\": { \"writes\": %d, \"ack_p50_ms\": %.6g, \
+     \"ack_p99_ms\": %.6g },\n\
+    \  \"failover\": { \"kill_to_first_answer_ms\": %.6g }\n\
+     }\n"
+    records catchup_s catchup_rps caught_up writes p50 p99 failover_ms;
+  close_out oc;
+  Printf.printf "wrote BENCH_PR9.json\n"
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -677,5 +787,7 @@ let () =
   run_net_throughput ();
   Printf.printf "\n=== persistence: snapshot open + file store ===\n\n";
   run_persistence ();
+  Printf.printf "\n=== replication: catch-up, lag, failover ===\n\n";
+  run_replication ();
   print_newline ();
   write_json "BENCH_PR8.json"

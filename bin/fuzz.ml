@@ -716,6 +716,274 @@ let run_net_round ~seed ~ops ~size round =
   Net_server.wait srv;
   remove_tree dir
 
+(* ---------------- replication soak ----------------
+
+   A live primary/replica pair over Unix sockets, a model mirror of
+   every acknowledged write, one-shot socket faults armed while writes
+   stream (exercising client retry and the tail's reconnect/resync),
+   then a partition event. Even rounds kill the primary mid-write and
+   promote; odd rounds promote while the primary is still alive (split
+   brain) and make a fresh node rejoin the new epoch, discarding the
+   divergent history. Either way: the promoted state must equal the
+   model up to the single in-flight operation, must validate clean,
+   and stale-epoch frames must be fenced on reconnect. *)
+
+module Net_wire = Segdb_net.Wire
+module Net_repl = Segdb_net.Replication
+
+let ids_of_db db =
+  Db.segments db |> Array.to_list
+  |> List.map (fun (s : Segment.t) -> s.Segment.id)
+  |> List.sort compare
+
+let run_replica_round ~seed ~ops ~size round =
+  let seed = seed + (round * 999983) in
+  let rng = Rng.create seed in
+  let backend = Rng.pick rng [| `Naive; `Rtree; `Solution1; `Solution2 |] in
+  let pool_segs = W.roads (Rng.split rng) ~n:(2 * size) ~span:200.0 in
+  let n0 = Array.length pool_segs / 2 in
+  let initial = Array.sub pool_segs 0 n0 in
+  let spare = ref (Array.to_list (Array.sub pool_segs n0 (Array.length pool_segs - n0))) in
+  let dir = Filename.concat (Lazy.force scratch_root) (Printf.sprintf "repl%d" round) in
+  Unix.mkdir dir 0o700;
+  let psock = Filename.concat dir "p.sock" and rsock = Filename.concat dir "r.sock" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "FUZZ FAILURE (replica round %d, seed %d): %s\n" round seed msg;
+        exit 1)
+      fmt
+  in
+  let model = Model.create () in
+  Array.iter (Model.insert model) initial;
+  let live = ref (Array.to_list initial) in
+  let block = 8 lsl Rng.int rng 3 in
+  let pdb = Db.create ~backend ~block initial in
+  (* the replica starts empty: only the subscribe-time snapshot resync
+     can explain it converging *)
+  let rdb = Db.create ~backend ~block [||] in
+  let primary = Net_server.create ~domains:2 ~db:pdb (Net_server.Unix_path psock) in
+  Net_server.start primary;
+  let replica =
+    Net_server.create ~domains:2
+      ~replica_of:(Net_server.Unix_path psock)
+      ~db:rdb (Net_server.Unix_path rsock)
+  in
+  Net_server.start replica;
+  let c = Net_client.connect ~retries:10 ~backoff_ms:2 (Net_server.Unix_path psock) in
+  let rc = Net_client.connect ~retries:10 ~backoff_ms:2 (Net_server.Unix_path rsock) in
+  let last_lag = ref "" in
+  let wait_for ?(timeout_s = 20.0) msg pred =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    while not (pred ()) do
+      if Unix.gettimeofday () > deadline then
+        fail "timed out waiting for %s (%s)" msg !last_lag;
+      Unix.sleepf 0.005
+    done
+  in
+  let replica_synced () =
+    let st = Net_client.repl_status rc in
+    let prepl = Net_server.replication primary in
+    let want_lsn = Net_repl.lsn prepl and want_epoch = Net_repl.epoch prepl in
+    let ok =
+      (* lsn equality alone is vacuous before the first write (both
+         report 0); epoch adoption proves the snapshot resync landed *)
+      st.Net_wire.lsn = want_lsn && st.Net_wire.epoch = want_epoch
+    in
+    if not ok then
+      last_lag := Printf.sprintf
+          "replica role=%s epoch=%d lsn=%d, primary epoch=%d lsn=%d"
+          st.Net_wire.role st.Net_wire.epoch st.Net_wire.lsn want_epoch want_lsn;
+    ok
+  in
+  let random_query () =
+    let x = Rng.float rng 220.0 -. 10.0 in
+    let y = Rng.float rng 200.0 in
+    Vquery.segment ~x ~ylo:y ~yhi:(y +. Rng.float rng 60.0)
+  in
+  let cross_check_replica label =
+    for _ = 1 to 5 do
+      let q = random_query () in
+      let got = Net_client.query rc q in
+      if not got.Db.Degraded.complete then
+        fail "%s: replica answered degraded (%s)" label
+          (String.concat "; " got.Db.Degraded.faults);
+      if got.Db.Degraded.value <> Model.query model q then
+        fail "%s: replica diverged from the model on %s" label
+          (Format.asprintf "%a" Vquery.pp q)
+    done
+  in
+  (* stabbing query through [s]'s x-midpoint: present iff [s.id] answers *)
+  let stored client (s : Segment.t) =
+    let x = (s.Segment.x1 +. s.Segment.x2) /. 2.0 in
+    let ylo = Float.min s.Segment.y1 s.Segment.y2 -. 1.0 in
+    let yhi = Float.max s.Segment.y1 s.Segment.y2 +. 1.0 in
+    let got = Net_client.query client (Vquery.segment ~x ~ylo ~yhi) in
+    List.mem s.Segment.id got.Db.Degraded.value
+  in
+  let apply_write client =
+    if (Rng.int rng 3 > 0 || !live = []) && !spare <> [] then begin
+      match !spare with
+      | [] -> ()
+      | s :: rest ->
+          spare := rest;
+          let _, changed = Net_client.insert client s in
+          (* under injected faults the client retries: a lost response
+             means the first attempt may already have committed, so
+             [changed = false] is only a failure if the segment is
+             genuinely absent *)
+          if (not changed) && not (stored client s) then
+            fail "insert of fresh id %d reported unchanged" s.Segment.id;
+          Model.insert model s;
+          live := s :: !live
+    end
+    else if !live <> [] then begin
+      let s = List.nth !live (Rng.int rng (List.length !live)) in
+      let _, changed = Net_client.delete client s in
+      if (not changed) && stored client s then
+        fail "delete of live id %d reported unchanged" s.Segment.id;
+      Model.delete model s;
+      live := List.filter (fun (l : Segment.t) -> l.Segment.id <> s.Segment.id) !live
+    end
+  in
+  (* steady state under socket chaos: bursts of writes with one-shot
+     faults armed; every burst ends at a sync barrier + cross-check *)
+  let bursts = max 1 (ops / 10) in
+  wait_for "initial snapshot catch-up" replica_synced;
+  cross_check_replica "after catch-up";
+  for burst = 1 to bursts do
+    let plans =
+      List.filter_map
+        (fun site ->
+          if Rng.bool rng then
+            Some (site, Failpoint.plan ~at:(1 + Rng.int rng 6) (Rng.pick rng net_actions))
+          else None)
+        [ "net.read"; "net.write" ]
+    in
+    Failpoint.arm ~seed:(seed + burst) plans;
+    for _ = 1 to 6 do
+      apply_write c
+    done;
+    Failpoint.disarm ();
+    wait_for "burst replication" replica_synced;
+    cross_check_replica (Printf.sprintf "burst %d" burst)
+  done;
+  (* ---- the partition event ---- *)
+  let kill_flavor = round mod 2 = 0 in
+  let inflight = ref None in
+  if kill_flavor then begin
+    (* one write is left in flight when the primary dies abruptly: it
+       may or may not have been committed and shipped *)
+    (match !spare with
+    | s :: rest ->
+        spare := rest;
+        inflight := Some s;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX psock);
+        Net_wire.send fd (Net_wire.encode_request (Net_wire.Insert s));
+        Net_server.kill primary;
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    | [] -> Net_server.kill primary);
+    Net_client.close c;
+    Net_server.wait primary
+  end;
+  let epoch = Net_client.promote rc in
+  if epoch < 2 then fail "promotion did not advance the epoch (got %d)" epoch;
+  (* promote flips the role, which makes the tail's session loop exit
+     after its current recv tick; give it that tick so no apply races
+     the direct reads below *)
+  Unix.sleepf 0.5;
+  (* the promoted state equals the model, up to the in-flight write *)
+  let got = ids_of_db rdb in
+  let base = ids_of_model model in
+  (if got = base then ()
+   else
+     match !inflight with
+     | Some s when got = List.sort compare (s.Segment.id :: base) ->
+         Model.insert model s;
+         live := s :: !live
+     | _ ->
+         let diff a b = List.filter (fun x -> not (List.mem x b)) a in
+         fail
+           "promoted id set (%d ids) matches neither the model (%d) nor model + \
+            in-flight; primary has %d; db-only: [%s]; model-only: [%s]"
+           (List.length got) (List.length base)
+           (List.length (ids_of_db pdb))
+           (String.concat "," (List.map string_of_int (diff got base)))
+           (String.concat "," (List.map string_of_int (diff base got))));
+  (match Db.validate ~queries:5 rdb with
+  | [] -> ()
+  | f :: _ -> fail "promoted db fails validation: %s" f);
+  (* fencing on reconnect: frames carrying a stale or impossible epoch
+     are refused by the promoted node *)
+  let expect_fenced what req =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX rsock);
+        Net_wire.send fd (Net_wire.encode_request req);
+        match Net_wire.recv ~timeout:10.0 fd with
+        | Result.Ok payload -> (
+            match Net_wire.decode_response payload with
+            | Result.Ok (Net_wire.Error (Net_wire.Fenced, _)) -> ()
+            | Result.Ok _ | Result.Error _ -> fail "%s was not fenced" what)
+        | Result.Error e ->
+            fail "%s: transport error %s" what (Net_wire.protocol_error_to_string e))
+  in
+  expect_fenced "stale-epoch ack (revived primary)"
+    (Net_wire.Repl_ack { epoch = 1; lsn = 0 });
+  expect_fenced "subscriber from the future"
+    (Net_wire.Repl_subscribe { epoch = epoch + 7; from_lsn = 0 });
+  (* the promoted node serves writes at the new epoch *)
+  for _ = 1 to 5 do
+    apply_write rc
+  done;
+  for _ = 1 to 5 do
+    let q = random_query () in
+    let got = Net_client.query rc q in
+    if got.Db.Degraded.value <> Model.query model q then
+      fail "promoted node diverged from the model after new writes"
+  done;
+  if not kill_flavor then begin
+    (* split brain: the old primary is still alive at epoch 1 and even
+       accepts writes — that divergent history must be discarded when
+       a node rejoins the new epoch *)
+    (match !spare with
+    | s :: rest ->
+        spare := rest;
+        ignore (Net_client.insert c s) (* NOT in the model: wrong side *)
+    | [] -> ());
+    let tsock = Filename.concat dir "t.sock" in
+    (* the rejoining node starts from the stale primary's divergent
+       content — snapshot resync must overwrite it *)
+    let tdb = Db.create ~backend ~block (Db.segments pdb) in
+    let third =
+      Net_server.create ~domains:1
+        ~replica_of:(Net_server.Unix_path rsock)
+        ~db:tdb (Net_server.Unix_path tsock)
+    in
+    Net_server.start third;
+    wait_for "rejoin at the new epoch" (fun () ->
+        ids_of_db tdb = ids_of_model model
+        && (let tc = Net_client.connect (Net_server.Unix_path tsock) in
+            Fun.protect
+              ~finally:(fun () -> Net_client.close tc)
+              (fun () -> (Net_client.repl_status tc).Net_wire.epoch = epoch)));
+    (match Db.validate ~queries:5 tdb with
+    | [] -> ()
+    | f :: _ -> fail "rejoined db fails validation: %s" f);
+    Net_server.stop third;
+    Net_server.wait third;
+    Net_client.close c;
+    Net_server.stop primary;
+    Net_server.wait primary
+  end;
+  Net_client.close rc;
+  Net_server.stop replica;
+  Net_server.wait replica;
+  remove_tree dir
+
 let store_sites = [ "pread"; "pwrite"; "store.sync" ]
 
 (* the socket sites see no traffic in a crash round (nothing serves
@@ -744,20 +1012,28 @@ let run_crash_matrix ~rounds ~ops ~seed ~size =
      and scrubbed clean\n"
     (List.length sites) rounds (String.concat ", " sites)
 
-let fuzz rounds ops seed size persist parallel crash net domains =
+let fuzz rounds ops seed size persist parallel crash net replica domains =
+  Segdb_obs.Log.configure_from_env ();
   if crash then begin
     run_crash_matrix ~rounds ~ops ~seed ~size;
     0
   end
   else begin
   for round = 1 to rounds do
-    if net then run_net_round ~seed ~ops ~size round
+    if replica then run_replica_round ~seed ~ops ~size round
+    else if net then run_net_round ~seed ~ops ~size round
     else if parallel then run_parallel_round ~seed ~ops ~size ~domains round
     else if persist then run_persist_round ~seed ~ops ~size round
     else run_round ~seed ~ops ~size round;
     if round mod 10 = 0 then Printf.printf "round %d/%d ok\n%!" round rounds
   done;
-  if net then
+  if replica then
+    Printf.printf
+      "fuzz: %d replica rounds (kill+promote / split-brain alternating) under socket \
+       faults; promoted state = model ± in-flight, stale epochs fenced, rejoins \
+       converged\n"
+      rounds
+  else if net then
     Printf.printf
       "fuzz: %d net rounds x ~%d requests under socket faults, every remote answer \
        matched the in-process oracle\n"
@@ -819,6 +1095,18 @@ let net_t =
            remote answer — after the client's bounded retries — against the in-process \
            oracle.")
 
+let replica_t =
+  Arg.(
+    value & flag
+    & info [ "replica" ]
+        ~doc:
+          "Replication soak: a primary/replica pair over Unix sockets with one-shot \
+           socket faults armed while writes stream. Even rounds kill the primary with \
+           a write in flight and promote the replica; odd rounds promote while the \
+           primary is alive (split brain) and make a fresh node rejoin the new epoch. \
+           The promoted state must equal the model up to the in-flight operation, \
+           validate clean, and fence stale-epoch frames.")
+
 let domains_t =
   Arg.(
     value & opt int 4
@@ -829,7 +1117,7 @@ let cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ rounds_t $ ops_t $ seed_t $ size_t $ persist_t $ parallel_t $ crash_t
-      $ net_t $ domains_t)
+      $ net_t $ replica_t $ domains_t)
 
 let () =
   Failpoint.arm_from_env ();

@@ -47,6 +47,7 @@ module Obs = Segdb_obs
 module Exec = Segdb_exec.Exec
 module Server = Segdb_net.Server
 module Client = Segdb_net.Client
+module Replication = Segdb_net.Replication
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -91,14 +92,42 @@ let addr_conv =
   in
   Arg.conv (parse, Server.pp_addr)
 
+(* --connect takes a comma-separated endpoint list; with more than one
+   the client fails over between them (health-probing each candidate),
+   so a query keeps working across a primary kill + promote. *)
+let addr_list_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    if parts = [] then Error (`Msg "empty address list")
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match Server.addr_of_string p with
+            | Ok a -> go (a :: acc) rest
+            | Error m -> Error (`Msg m))
+      in
+      go [] parts
+  in
+  let print ppf addrs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Server.addr_to_string addrs))
+  in
+  Arg.conv (parse, print)
+
 let connect_t =
   Arg.(
     value
-    & opt (some addr_conv) None
-    & info [ "connect" ] ~docv:"ADDR"
+    & opt (some addr_list_conv) None
+    & info [ "connect" ] ~docv:"ADDR[,ADDR...]"
         ~doc:
           "Run against a server at $(i,HOST:PORT) or $(i,unix:PATH) instead of building \
-           an index in-process; the positional file argument is then unused.")
+           an index in-process; the positional file argument is then unused. Several \
+           comma-separated endpoints enable failover: a dead or draining endpoint is \
+           skipped for the next one under the retry budget.")
 
 (* query/batch/stats take the segment file positionally but can run
    remotely instead; the file is only demanded when there is no
@@ -216,9 +245,9 @@ let stats_local file backend block pool nqueries selectivity seed format =
 (* Every remote entry point funnels through this: a client failure
    (retries exhausted, server gone) is an exit-code-1 diagnostic, not
    an uncaught exception. *)
-let with_client addr f =
+let with_client addrs f =
   match
-    let c = Client.connect addr in
+    let c = Client.connect_many addrs in
     Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
   with
   | r -> r
@@ -232,7 +261,7 @@ let with_client addr f =
    instead of each subcommand re-growing its own. *)
 let local_or_remote ~cmd ~connect ~file ~local ~remote =
   match connect with
-  | Some addr -> with_client addr (fun c -> remote addr c)
+  | Some addrs -> with_client addrs (fun c -> remote (Client.endpoint c) c)
   | None -> local (require_file cmd file)
 
 (* Answer a batch on the process-wide execution pool — the same engine
@@ -967,22 +996,31 @@ let verify_cmd =
 
 (* ---------------- serve / ping / shutdown ---------------- *)
 
-let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms =
+let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms
+    replica_of epoch idle_timeout_s =
   if not no_obs then Obs.Control.enable ();
   Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   let db = Server.open_or_build ~backend ~block file in
-  let srv = Server.create ~domains ~queue_depth ~deadline_ms ~db addr in
+  let srv =
+    Server.create ~domains ~queue_depth ~deadline_ms ~idle_timeout_s ?epoch ?replica_of
+      ~db addr
+  in
   let on_signal _ = Server.stop srv in
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
+  let repl = Server.replication srv in
   (* the bound address goes out flushed so scripts can scrape a
      kernel-assigned port before the first client connects *)
   Printf.printf
-    "serving %s on %s: backend %s, %d segments, pool of %d domains (queue %d, deadline %dms)\n%!"
+    "serving %s on %s as %s (epoch %d): backend %s, %d segments, pool of %d domains \
+     (queue %d, deadline %dms)\n\
+     %!"
     file
     (Server.addr_to_string (Server.bound_addr srv))
+    (Replication.role_name (Replication.role repl))
+    (Replication.epoch repl)
     (Db.backend_name db) (Db.size db)
     (Exec.size (Server.pool srv))
     queue_depth deadline_ms;
@@ -1029,6 +1067,34 @@ let no_obs_t =
           "Leave observability off (it is enabled by default when serving, so the \
            $(i,stats) frame has something to report).")
 
+let replica_of_t =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "replica-of" ] ~docv:"ADDR"
+        ~doc:
+          "Start as a read-only replica of the primary at $(docv): subscribe to its \
+           WAL stream, apply pushed records, catch up by snapshot when joining late \
+           or after a partition. Writes are refused with $(i,not primary) until \
+           $(b,segdb_cli promote) turns this node into a primary at a fenced epoch.")
+
+let epoch_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:
+          "Seed the replication fencing epoch (default: 1 for a primary, 0 for a \
+           replica). Nodes refuse replication frames from a lower epoch.")
+
+let idle_timeout_s_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "idle-timeout-s" ] ~docv:"S"
+        ~doc:
+          "Reap connections with no traffic and no in-flight requests for $(docv) \
+           seconds (0 = never). Subscribed replicas are exempt.")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -1036,10 +1102,12 @@ let serve_cmd =
          "serve a segment file or snapshot over the binary wire protocol: an accept \
           loop submits decoded frames to a persistent $(b,Segdb_exec) pool (bounded \
           admission, per-request deadlines, cooperative cancellation); SIGTERM/SIGINT \
-          or a $(i,shutdown) frame drains gracefully")
+          or a $(i,shutdown) frame drains gracefully; with $(b,--replica-of) the node \
+          serves reads while tailing a primary's WAL stream")
     Term.(
       const serve $ file_t $ serve_addr_t $ backend_t $ block_t $ serve_domains_t
-      $ queue_depth_t $ deadline_ms_t $ no_obs_t $ slow_ms_t)
+      $ queue_depth_t $ deadline_ms_t $ no_obs_t $ slow_ms_t $ replica_of_t $ epoch_t
+      $ idle_timeout_s_t)
 
 let server_pos_t =
   Arg.(
@@ -1048,7 +1116,7 @@ let server_pos_t =
     & info [] ~docv:"ADDR" ~doc:"Server address: $(i,HOST:PORT) or $(i,unix:PATH).")
 
 let ping_server addr count =
-  with_client addr (fun c ->
+  with_client [ addr ] (fun c ->
       for _ = 1 to max 1 count do
         let t0 = Unix.gettimeofday () in
         Client.ping c;
@@ -1067,7 +1135,7 @@ let ping_cmd =
     Term.(const ping_server $ server_pos_t $ ping_count_t)
 
 let shutdown_server addr =
-  with_client addr (fun c ->
+  with_client [ addr ] (fun c ->
       Client.shutdown c;
       Printf.printf "server at %s draining\n" (Server.addr_to_string addr);
       0)
@@ -1079,6 +1147,100 @@ let shutdown_cmd =
          "send a shutdown frame: the server stops accepting, answers what is queued, \
           and exits")
     Term.(const shutdown_server $ server_pos_t)
+
+(* ---------------- replication: promote / repl-status / insert / delete ---------------- *)
+
+let promote_server addr epoch =
+  with_client [ addr ] (fun c ->
+      let e = Client.promote ?epoch c in
+      Printf.printf "%s is primary at epoch %d\n" (Server.addr_to_string addr) e;
+      0)
+
+let promote_epoch_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:
+          "Force the fenced epoch (default: bump the node's current epoch by one). A \
+           non-advancing epoch is refused with $(i,fenced).")
+
+let promote_cmd =
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "turn a replica into a writable primary at a higher fenced epoch; a revived \
+          stale primary is then refused by every node that saw the new epoch. \
+          Idempotent on a node that is already primary.")
+    Term.(const promote_server $ server_pos_t $ promote_epoch_t)
+
+let repl_status_server addr =
+  with_client [ addr ] (fun c ->
+      let st = Client.repl_status c in
+      Printf.printf "%s: role=%s epoch=%d lsn=%d\n"
+        (Server.addr_to_string addr)
+        st.Segdb_net.Wire.role st.Segdb_net.Wire.epoch st.Segdb_net.Wire.lsn;
+      List.iter
+        (fun (peer, acked) ->
+          Printf.printf "  replica %s acked lsn %d (lag %d)\n" peer acked
+            (st.Segdb_net.Wire.lsn - acked))
+        st.Segdb_net.Wire.peers;
+      0)
+
+let repl_status_cmd =
+  Cmd.v
+    (Cmd.info "repl-status"
+       ~doc:
+         "print a node's replication standing: role, fencing epoch, committed LSN, \
+          and each subscribed replica's acknowledged LSN")
+    Term.(const repl_status_server $ server_pos_t)
+
+let seg_of_args id x1 y1 x2 y2 = Segment.make ~id (x1, y1) (x2, y2)
+
+let insert_server addr id x1 y1 x2 y2 =
+  with_client [ addr ] (fun c ->
+      let lsn, changed = Client.insert c (seg_of_args id x1 y1 x2 y2) in
+      Printf.printf "%s: id %d at lsn %d%s\n"
+        (Server.addr_to_string addr)
+        id lsn
+        (if changed then "" else " (already present)");
+      0)
+
+let delete_server addr id x1 y1 x2 y2 =
+  with_client [ addr ] (fun c ->
+      let lsn, changed = Client.delete c (seg_of_args id x1 y1 x2 y2) in
+      Printf.printf "%s: id %d at lsn %d%s\n"
+        (Server.addr_to_string addr)
+        id lsn
+        (if changed then "" else " (not found)");
+      0)
+
+let seg_id_t =
+  Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Segment id.")
+
+let coord_t names doc =
+  Arg.(required & opt (some float) None & info names ~docv:"F" ~doc)
+
+let x1_t = coord_t [ "x1" ] "First endpoint abscissa."
+let y1_t = coord_t [ "y1" ] "First endpoint ordinate."
+let x2_t = coord_t [ "x2" ] "Second endpoint abscissa."
+let y2_t = coord_t [ "y2" ] "Second endpoint ordinate."
+
+let insert_cmd =
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:
+         "insert one segment through a running primary (WAL-logged, replicated to \
+          subscribers); a replica answers $(i,not primary)")
+    Term.(const insert_server $ server_pos_t $ seg_id_t $ x1_t $ y1_t $ x2_t $ y2_t)
+
+let delete_cmd =
+  Cmd.v
+    (Cmd.info "delete"
+       ~doc:
+         "delete one segment through a running primary (WAL-logged, replicated to \
+          subscribers); a replica answers $(i,not primary)")
+    Term.(const delete_server $ server_pos_t $ seg_id_t $ x1_t $ y1_t $ x2_t $ y2_t)
 
 (* ---------------- slowlog ---------------- *)
 
@@ -1126,6 +1288,10 @@ let main_cmd =
       serve_cmd;
       ping_cmd;
       shutdown_cmd;
+      promote_cmd;
+      repl_status_cmd;
+      insert_cmd;
+      delete_cmd;
       slowlog_cmd;
     ]
 

@@ -20,20 +20,29 @@ module Server = Segdb_net.Server
 module Obs = Segdb_obs
 module Failpoint = Segdb_io.Failpoint
 
-let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms =
+let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms
+    replica_of epoch idle_timeout_s =
   if not no_obs then Obs.Control.enable ();
   Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   let db = Server.open_or_build ~backend ~block file in
-  let srv = Server.create ~domains ~queue_depth ~deadline_ms ~db addr in
+  let srv =
+    Server.create ~domains ~queue_depth ~deadline_ms ~idle_timeout_s ?epoch ?replica_of
+      ~db addr
+  in
   let on_signal _ = Server.stop srv in
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
+  let repl = Server.replication srv in
   Printf.printf
-    "serving %s on %s: backend %s, %d segments, pool of %d domains (queue %d, deadline %dms)\n%!"
+    "serving %s on %s as %s (epoch %d): backend %s, %d segments, pool of %d domains \
+     (queue %d, deadline %dms)\n\
+     %!"
     file
     (Server.addr_to_string (Server.bound_addr srv))
+    (Segdb_net.Replication.role_name (Segdb_net.Replication.role repl))
+    (Segdb_net.Replication.epoch repl)
     (Db.backend_name db) (Db.size db)
     (Exec.size (Server.pool srv))
     queue_depth deadline_ms;
@@ -126,13 +135,41 @@ let slow_ms_t =
            (0 records every query; also settable via $(b,SEGDB_SLOW_MS)). Dump it \
            with $(b,segdb_cli slowlog --connect ADDR).")
 
+let replica_of_t =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "replica-of" ] ~docv:"ADDR"
+        ~doc:
+          "Start as a read-only replica of the primary at $(docv): subscribe to its WAL \
+           stream, apply pushed records, catch up by snapshot when joining late or \
+           after a partition. Writes are refused with $(i,not primary) until a \
+           $(b,segdb_cli promote) turns this node into a primary at a fenced epoch.")
+
+let epoch_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"N"
+        ~doc:
+          "Seed the replication fencing epoch (default: 1 for a primary, 0 for a \
+           replica). Nodes refuse replication frames from a lower epoch.")
+
+let idle_timeout_s_t =
+  Arg.(
+    value & opt float 0.
+    & info [ "idle-timeout-s" ] ~docv:"S"
+        ~doc:
+          "Reap connections with no traffic and no in-flight requests for $(docv) \
+           seconds (0 = never). Subscribed replicas are exempt.")
+
 let cmd =
   Cmd.v
     (Cmd.info "segdb_server"
        ~doc:"serve a segment database over the binary wire protocol")
     Term.(
       const serve $ file_t $ addr_t $ backend_t $ block_t $ domains_t $ queue_depth_t
-      $ deadline_ms_t $ no_obs_t $ slow_ms_t)
+      $ deadline_ms_t $ no_obs_t $ slow_ms_t $ replica_of_t $ epoch_t $ idle_timeout_s_t)
 
 let () =
   Failpoint.arm_from_env ();

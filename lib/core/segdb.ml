@@ -11,6 +11,8 @@ type backend = [ `Naive | `Rtree | `Solution1 | `Solution2 | `Solution2_nofc ]
 type pack =
   | Pack : (module Vs_index.S with type t = 'a) * 'a * (unit -> bool) -> pack
 
+type op = Op_insert of Segment.t | Op_delete of Segment.t
+
 type t = {
   cfg : Vs_index.config;
   backend : backend;
@@ -20,7 +22,20 @@ type t = {
       (* bumped by every structural mutation; lets long-lived readers
          (e.g. the execution engine's per-domain cache) detect that
          their block shard may hold stale pages *)
+  mutable commit_hook : (op -> unit) option;
+      (* observes every committed mutation right after it is logged —
+         the replication stream taps the same total order as the WAL *)
+  ids : (int, unit) Hashtbl.t;
+      (* live segment ids; the duplicate-insert guard must not depend
+         on the backend (naive/rtree accept duplicates, solution1/2
+         refuse them), or replayed and retried records would
+         double-apply on some backends only *)
 }
+
+let seed_ids segs =
+  let h = Hashtbl.create (max 16 (Array.length segs)) in
+  Array.iter (fun (s : Segment.t) -> Hashtbl.replace h s.Segment.id ()) segs;
+  h
 
 let build_pack (cfg : Vs_index.config) backend segs =
   match backend with
@@ -41,7 +56,7 @@ let create ?(backend = `Solution2) ?(block = 64) ?(pool_blocks = 64) segs =
   let cascade = backend <> `Solution2_nofc in
   let cfg = Vs_index.config ~pool_blocks ~block ~cascade () in
   { cfg; backend; pack = build_pack cfg backend segs; wal = None;
-    generation = Atomic.make 0 }
+    generation = Atomic.make 0; commit_hook = None; ids = seed_ids segs }
 
 let of_segments ?backend ?block ?pool_blocks polylines =
   let acc = ref [] in
@@ -61,8 +76,6 @@ let of_segments ?backend ?block ?pool_blocks polylines =
 
 (* ---------------- WAL records ---------------- *)
 
-type op = Op_insert of Segment.t | Op_delete of Segment.t
-
 let op_codec : op Codec.t =
   {
     write =
@@ -81,18 +94,38 @@ let op_codec : op Codec.t =
         | tag -> raise (Codec.Corrupt (Printf.sprintf "unknown WAL op tag %d" tag)));
   }
 
+let encode_op op = Codec.encode op_codec op
+
+let decode_op payload =
+  match Codec.decode op_codec payload with
+  | op -> Some op
+  | exception Codec.Corrupt _ -> None
+
 let log_op t op =
   match t.wal with None -> () | Some w -> Wal.append w (Codec.encode op_codec op)
 
+let set_commit_hook t hook = t.commit_hook <- hook
+
+(* Fired right after [log_op], i.e. once the record is in the total
+   order, whether or not the apply below then succeeds — exactly the
+   set of records a WAL replay would see. *)
+let notify t op = match t.commit_hook with None -> () | Some f -> f op
+
 let apply_insert t s =
+  if Hashtbl.mem t.ids s.Segment.id then
+    invalid_arg "Segdb.insert: duplicate segment id";
   let (Pack ((module M), v, _)) = t.pack in
   M.insert v s;
+  Hashtbl.replace t.ids s.Segment.id ();
   Atomic.incr t.generation
 
 let apply_delete t s =
   let (Pack ((module M), v, _)) = t.pack in
   let hit = M.delete v s in
-  if hit then Atomic.incr t.generation;
+  if hit then begin
+    Hashtbl.remove t.ids s.Segment.id;
+    Atomic.incr t.generation
+  end;
   hit
 
 (* Replay is idempotent where the index is not: a record whose effect is
@@ -107,11 +140,24 @@ let insert t s =
   (* the record is durable before the index is touched: a crash between
      the two replays the insert on reopen *)
   log_op t (Op_insert s);
+  notify t (Op_insert s);
   apply_insert t s
 
 let delete t s =
   log_op t (Op_delete s);
+  notify t (Op_delete s);
   apply_delete t s
+
+(* [insert]/[delete] with replay semantics: the op is logged and
+   announced like a local mutation but applied idempotently, so a
+   replayed or replicated record that already took effect is a no-op
+   instead of an error. Returns whether the index changed. *)
+let commit t op =
+  log_op t op;
+  notify t op;
+  match op with
+  | Op_insert s -> ( try apply_insert t s; true with Invalid_argument _ -> false)
+  | Op_delete s -> apply_delete t s
 
 let generation t = Atomic.get t.generation
 
@@ -432,7 +478,9 @@ let open_db_mode ?(use_image = true) path =
              the executable that wrote it — hence the digest guard *)
           try
             let cfg, pack = (Marshal.from_string img 0 : Vs_index.config * pack) in
-            Some { cfg; backend; pack; wal = None; generation = Atomic.make 0 }
+            Some
+              { cfg; backend; pack; wal = None; generation = Atomic.make 0;
+                commit_hook = None; ids = seed_ids c.segments }
           with Failure _ -> None)
       | _ -> None
   in

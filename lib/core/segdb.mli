@@ -47,7 +47,9 @@ val insert : t -> Segment.t -> unit
 (** Semi-dynamic insertion; the new segment must not cross stored ones
     (NCT) for complexity guarantees, though answers remain exact for
     touching-only violations. With a WAL attached the record is made
-    durable {e before} the index is touched. *)
+    durable {e before} the index is touched. Raises [Invalid_argument]
+    if a segment with the same id is already stored — uniformly across
+    backends, so replayed and replicated records stay idempotent. *)
 
 val delete : t -> Segment.t -> bool
 (** Removes the segment (matched by id and geometry); amortized
@@ -260,6 +262,31 @@ val apply_wal_ops : t -> op list -> unit
     without logging them anywhere. *)
 
 val pp_op : Format.formatter -> op -> unit
+
+val encode_op : op -> string
+(** The exact WAL/replication record bytes for [op] — what {!insert}
+    appends to an attached log and what the replication stream ships. *)
+
+val decode_op : string -> op option
+(** Inverse of {!encode_op}; [None] on an undecodable record. *)
+
+val commit : t -> op -> bool
+(** [insert]/[delete] with replay semantics: the op is logged to the
+    attached WAL (if any) and announced to the commit hook like a local
+    mutation, but applied {e idempotently} — an insert whose id is
+    already present or a delete that misses is a no-op instead of an
+    error. Returns whether the index changed. This is the write path
+    for operations that may be retried or replayed (the server's wire
+    writes, a replica applying its upstream's stream). *)
+
+val set_commit_hook : t -> (op -> unit) option -> unit
+(** Installs (or clears) a hook observing every committed mutation —
+    local {!insert}/{!delete} and replayed {!commit}s alike — invoked
+    right after the record is logged, before it is applied, on the
+    mutating domain. The replication stream taps the WAL's total order
+    through this. WAL replay on {!attach_wal} does {e not} notify (the
+    hook is installed on an already-recovered database). At most one
+    hook; installing replaces the previous one. *)
 
 val wal_path : t -> string option
 val detach_wal : t -> unit

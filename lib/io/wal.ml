@@ -48,6 +48,16 @@ let scan path =
   if not (Sys.file_exists path) then []
   else fst (valid_prefix (read_file path))
 
+(* The log is a total order, so "replay from LSN [from]" is just the
+   suffix after dropping the first [from] records. *)
+let scan_from path ~from =
+  let rec drop n = function
+    | l when n <= 0 -> l
+    | [] -> []
+    | _ :: tl -> drop (n - 1) tl
+  in
+  drop from (scan path)
+
 let open_ ?(sync = true) path =
   let existing = if Sys.file_exists path then read_file path else "" in
   let records, valid = valid_prefix existing in

@@ -26,6 +26,12 @@ val scan : string -> string list
 (** The valid records of the log at the path, in order, without opening
     it for append or repairing it. [[]] if the file does not exist. *)
 
+val scan_from : string -> from:int -> string list
+(** {!scan} minus the first [from] records — replay from an arbitrary
+    LSN offset into the log's total order. [[]] when [from] is at or
+    past the end; a negative [from] behaves like 0. Backs replication
+    catch-up from a WAL tail. *)
+
 type audit = {
   audit_records : int;  (** intact records in the valid prefix *)
   valid_bytes : int;  (** bytes the valid prefix spans *)

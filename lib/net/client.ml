@@ -1,19 +1,26 @@
 module Db = Segdb_core.Segdb
 module Metrics = Segdb_obs.Metrics
 module Control = Segdb_obs.Control
+module Rng = Segdb_util.Rng
 
 exception Error of string
 
 type t = {
-  addr : Server.addr;
+  addrs : Server.addr array;
+  mutable cur : int;
   retries : int;
   backoff_ms : int;
+  backoff_seed : int;
   timeout : float option;
   mutable fd : Unix.file_descr option;
+  mutable probe : bool;
+      (** health-probe (ping) the next endpoint before replaying a
+          request on it — set whenever failover rotates *)
 }
 
 let c_io_retries = Metrics.counter Metrics.default "io.retries"
 let c_net_retries = Metrics.counter Metrics.default "net.client.retries"
+let c_failovers = Metrics.counter Metrics.default "net.client.failovers"
 
 let count_retry () =
   if Control.enabled () then begin
@@ -21,9 +28,22 @@ let count_retry () =
     Metrics.incr c_net_retries
   end
 
+let endpoint t = t.addrs.(t.cur)
+let endpoints t = Array.to_list t.addrs
+
+(* Deterministic jitter in [0.5, 1.0): clients seeded differently
+   desynchronize (no retry storm against a restarted primary), while a
+   fixed seed reproduces the exact schedule under test. *)
+let jitter ~seed ~attempt =
+  let r = Rng.create (seed lxor ((attempt + 1) * 0x2545f491)) in
+  0.5 +. Rng.float r 0.5
+
+let backoff_delay_s ~seed ~backoff_ms ~attempt =
+  float_of_int (backoff_ms * (1 lsl min attempt 10)) /. 1000.0 *. jitter ~seed ~attempt
+
 let backoff t attempt =
   count_retry ();
-  Unix.sleepf (float_of_int (t.backoff_ms * (1 lsl min attempt 10)) /. 1000.0)
+  Unix.sleepf (backoff_delay_s ~seed:t.backoff_seed ~backoff_ms:t.backoff_ms ~attempt)
 
 (* A transport error anywhere mid-exchange leaves the stream possibly
    desynchronized; the only safe recovery is a fresh connection. *)
@@ -35,6 +55,15 @@ let drop t =
       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
 
 let close = drop
+
+(* Failover: after a drop, the next attempt goes to the next endpoint,
+   health-probed before the request is replayed on it. *)
+let rotate t =
+  if Array.length t.addrs > 1 then begin
+    t.cur <- (t.cur + 1) mod Array.length t.addrs;
+    t.probe <- true;
+    if Control.enabled () then Metrics.incr c_failovers
+  end
 
 let transient = function
   | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE | Unix.ENOENT
@@ -58,14 +87,15 @@ let connect_fd t =
   match t.fd with
   | Some fd -> fd
   | None ->
-      let sa = sockaddr_of t.addr in
+      let addr = endpoint t in
+      let sa = sockaddr_of addr in
       let dom =
         match sa with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | Unix.ADDR_INET _ -> Unix.PF_INET
       in
       let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
       (try
          Unix.connect fd sa;
-         (match t.addr with
+         (match addr with
          | Server.Tcp _ -> (
              try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
          | Server.Unix_path _ -> ())
@@ -79,9 +109,26 @@ type attempt =
   | Answer of Wire.response
   | Retry of string  (** transient; connection already dropped if suspect *)
 
+(* With several endpoints the definitive/transient split shifts for
+   two answers: [Not_primary] (a write or subscribe reached a replica)
+   and [Shutting_down] (this node is draining) are failover-able —
+   another endpoint may be the primary, or not draining. Single-
+   endpoint clients keep the original semantics: both are answers. *)
+let failover_code t = function
+  | Wire.Not_primary | Wire.Shutting_down -> Array.length t.addrs > 1
+  | _ -> false
+
 let attempt_rpc t req =
   match
     let fd = connect_fd t in
+    if t.probe then begin
+      (* a cheap liveness check on the freshly rotated-to endpoint, so
+         the real request is not burned discovering a dead server *)
+      Wire.send fd (Wire.encode_request Wire.Ping);
+      match Wire.recv ?timeout:t.timeout fd with
+      | Result.Ok p when Wire.decode_response p = Result.Ok Wire.Pong -> t.probe <- false
+      | _ -> raise (Unix.Unix_error (Unix.EIO, "health probe", ""))
+    end;
     Wire.send fd (Wire.encode_request req);
     Wire.recv ?timeout:t.timeout fd
   with
@@ -91,6 +138,9 @@ let attempt_rpc t req =
           (* Corrupt_frame means the server saw damage on this stream
              and will close it — reconnect rather than race the close *)
           if code = Wire.Corrupt_frame then drop t;
+          Retry (Wire.error_code_to_string code ^ ": " ^ msg)
+      | Result.Ok (Wire.Error (code, msg)) when failover_code t code ->
+          drop t;
           Retry (Wire.error_code_to_string code ^ ": " ^ msg)
       | Result.Ok resp -> Answer resp
       | Result.Error e ->
@@ -112,20 +162,35 @@ let rpc t req =
           raise
             (Error
                (Printf.sprintf "%s: giving up after %d attempts (%s)"
-                  (Server.addr_to_string t.addr) (attempt + 1) why));
+                  (Server.addr_to_string (endpoint t)) (attempt + 1) why));
+        (* rotate only when the connection was dropped: an [Overloaded]
+           answer keeps both the stream and the endpoint *)
+        if t.fd = None then rotate t;
         backoff t attempt;
         go (attempt + 1)
   in
   go 0
 
-let connect ?(retries = 4) ?(backoff_ms = 10) ?(timeout_ms = 5000) addr =
+let connect_many ?(retries = 4) ?(backoff_ms = 10) ?(timeout_ms = 5000) ?backoff_seed addrs =
+  if addrs = [] then invalid_arg "Client.connect_many: at least one endpoint required";
+  let backoff_seed =
+    match backoff_seed with
+    | Some s -> s
+    | None ->
+        (* per-process default: distinct clients must not share a
+           jitter schedule *)
+        (Unix.getpid () * 0x9e3779b1) lxor int_of_float (Unix.gettimeofday () *. 1e6)
+  in
   let t =
     {
-      addr;
+      addrs = Array.of_list addrs;
+      cur = 0;
       retries = max 0 retries;
       backoff_ms = max 1 backoff_ms;
+      backoff_seed;
       timeout = (if timeout_ms <= 0 then None else Some (float_of_int timeout_ms /. 1000.0));
       fd = None;
+      probe = false;
     }
   in
   let rec go attempt =
@@ -136,12 +201,17 @@ let connect ?(retries = 4) ?(backoff_ms = 10) ?(timeout_ms = 5000) addr =
           raise
             (Error
                (Printf.sprintf "%s: connect failed after %d attempts (%s)"
-                  (Server.addr_to_string addr) (attempt + 1) (Unix.error_message code)));
+                  (Server.addr_to_string (endpoint t)) (attempt + 1)
+                  (Unix.error_message code)));
+        rotate t;
         backoff t attempt;
         go (attempt + 1)
   in
   go 0;
   t
+
+let connect ?retries ?backoff_ms ?timeout_ms ?backoff_seed addr =
+  connect_many ?retries ?backoff_ms ?timeout_ms ?backoff_seed [ addr ]
 
 let unexpected what resp =
   let got =
@@ -155,6 +225,11 @@ let unexpected what resp =
     | Wire.Shutdown_ack -> "shutdown ack"
     | Wire.Trace_events _ -> "trace events"
     | Wire.Slowlog_payload _ -> "slowlog"
+    | Wire.Applied _ -> "applied"
+    | Wire.Repl_records _ -> "repl records"
+    | Wire.Repl_snapshot _ -> "repl snapshot"
+    | Wire.Repl_status_payload _ -> "repl status"
+    | Wire.Promoted _ -> "promoted"
   in
   raise (Error (Printf.sprintf "expected %s, got %s" what got))
 
@@ -198,3 +273,23 @@ let stats t fmt =
 
 let shutdown t =
   match rpc t Wire.Shutdown with Wire.Shutdown_ack -> () | r -> unexpected "shutdown ack" r
+
+let insert t s =
+  match rpc t (Wire.Insert s) with
+  | Wire.Applied { lsn; changed } -> (lsn, changed)
+  | r -> unexpected "applied" r
+
+let delete t s =
+  match rpc t (Wire.Delete s) with
+  | Wire.Applied { lsn; changed } -> (lsn, changed)
+  | r -> unexpected "applied" r
+
+let promote ?(epoch = 0) t =
+  match rpc t (Wire.Promote { epoch }) with
+  | Wire.Promoted { epoch } -> epoch
+  | r -> unexpected "promoted" r
+
+let repl_status t =
+  match rpc t Wire.Repl_status with
+  | Wire.Repl_status_payload st -> st
+  | r -> unexpected "repl status" r

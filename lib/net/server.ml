@@ -47,6 +47,11 @@ let sockaddr_of = function
 
 (* ---------------- connections ---------------- *)
 
+(* A subscribed replica's cursor: the LSN up to which records have been
+   pushed down this connection (acknowledged LSNs live in the stream's
+   ack table, keyed by peer). *)
+type sub = { mutable sent_lsn : int }
+
 type conn = {
   fd : Unix.file_descr;
   peer : string;
@@ -54,20 +59,31 @@ type conn = {
   wlock : Mutex.t;  (** serializes frame writes (pool workers + accept loop) *)
   pending : int Atomic.t;  (** submitted requests still owing a response *)
   closing : bool Atomic.t;  (** reaped by the accept loop once [pending] drains *)
+  mutable last_active : float;  (** last read, for idle reaping *)
+  mutable sub : sub option;  (** a subscribed replica (exempt from reaping) *)
 }
 
 (* The server owns no execution machinery of its own: queueing,
    admission control, worker domains, deadlines and per-worker readers
    all live in [Exec]. What is left here is purely the socket side —
-   accept, frame, dispatch, respond. *)
+   accept, frame, dispatch, respond — plus the replication stream
+   state and the reader/writer gate that serializes mutations against
+   served queries. *)
 type t = {
   db : Db.t;
   lfd : Unix.file_descr;
   bound : addr;
   deadline_ms : int;  (** 0 disables *)
   cache_blocks : int option;
+  idle_timeout_s : float;  (** 0 disables *)
   pool : Exec.t;
+  repl : Replication.t;
+  gate : Replication.Gate.t;
+  mutable tail : Replication.tail option;  (** the replica's subscription loop *)
   stopping : bool Atomic.t;
+  killed : bool Atomic.t;  (** abrupt death requested — no graceful drain *)
+  mutable conns : conn list;  (** owned by the accept-loop domain *)
+  mutable next_conn : int;
   mutable runner : unit Domain.t option;
   (* metric handles, resolved once *)
   m_requests : Metrics.counter;
@@ -75,7 +91,24 @@ type t = {
   m_bytes_out : Metrics.counter;
 }
 
-let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_blocks ~db addr =
+let connector addr () =
+  let sa = sockaddr_of addr in
+  let dom =
+    match sa with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd sa;
+     match addr with
+     | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+     | Unix_path _ -> ()
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  fd
+
+let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_blocks
+    ?(idle_timeout_s = 0.) ?epoch ?replica_of ~db addr =
   let sa = sockaddr_of addr in
   (match addr with
   | Unix_path p when Sys.file_exists p && (Unix.stat p).Unix.st_kind = Unix.S_SOCK ->
@@ -97,23 +130,52 @@ let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_bloc
     | a, _ -> a
   in
   let reg = Metrics.default in
-  {
-    db;
-    lfd;
-    bound;
-    deadline_ms = max 0 deadline_ms;
-    cache_blocks;
-    pool = Exec.create ~queue_depth:(max 0 queue_depth) ~workers:(max 1 domains) ();
-    stopping = Atomic.make false;
-    runner = None;
-    m_requests = Metrics.counter reg "net.requests";
-    m_bytes_in = Metrics.counter reg "net.bytes_in";
-    m_bytes_out = Metrics.counter reg "net.bytes_out";
-  }
+  let role =
+    match replica_of with
+    | Some _ -> Replication.Replica
+    | None -> Replication.Primary
+  in
+  let repl = Replication.create ~role ?epoch () in
+  Replication.attach repl db;
+  let gate = Replication.Gate.create () in
+  let t =
+    {
+      db;
+      lfd;
+      bound;
+      deadline_ms = max 0 deadline_ms;
+      cache_blocks;
+      idle_timeout_s = Float.max 0. idle_timeout_s;
+      pool = Exec.create ~queue_depth:(max 0 queue_depth) ~workers:(max 1 domains) ();
+      repl;
+      gate;
+      tail = None;
+      stopping = Atomic.make false;
+      killed = Atomic.make false;
+      conns = [];
+      next_conn = 0;
+      runner = None;
+      m_requests = Metrics.counter reg "net.requests";
+      m_bytes_in = Metrics.counter reg "net.bytes_in";
+      m_bytes_out = Metrics.counter reg "net.bytes_out";
+    }
+  in
+  (match replica_of with
+  | None -> ()
+  | Some upstream ->
+      t.tail <-
+        Some
+          (Replication.start_tail ~connect:(connector upstream) ~gate ~db ~stream:repl ()));
+  t
 
 let bound_addr t = t.bound
 let pool t = t.pool
+let replication t = t.repl
 let stop t = Atomic.set t.stopping true
+
+let kill t =
+  Atomic.set t.killed true;
+  Atomic.set t.stopping true
 
 (* ---------------- responses ---------------- *)
 
@@ -184,6 +246,11 @@ let response_of_outcome t ~kind (o : Exec.outcome) =
    hop back to the accept loop. *)
 let submit_query t conn req =
   Atomic.incr conn.pending;
+  (* enter the gate as a reader before the request can reach a worker:
+     a mutation (wire write, replicated batch) waits for in-flight
+     queries and blocks new ones, so no query observes a half-applied
+     batch *)
+  Replication.Gate.enter_read t.gate;
   let t0 = Trace.now_ns () in
   let qs, kind, rid, trace =
     match req with
@@ -191,8 +258,7 @@ let submit_query t conn req =
     | Wire.Count q -> ([| q |], `Count, 0, false)
     | Wire.Batch qs -> (qs, `Batch, 0, false)
     | Wire.Batch_ex { request_id; trace; queries } -> (queries, `Batch, request_id, trace)
-    | Wire.Ping | Wire.Shutdown | Wire.Stats _ | Wire.Trace_fetch _ | Wire.Slowlog _ ->
-        assert false
+    | _ -> assert false
   in
   let ereq =
     Exec.request ~deadline_ms:t.deadline_ms
@@ -214,9 +280,147 @@ let submit_query t conn req =
       Trace.record ~request_id:(Exec.request_id ereq) ~t0_ns:t0 ~dur_ns:(now - t0)
         "server.request"
     end;
+    Replication.Gate.exit_read t.gate;
     Atomic.decr conn.pending
   in
   ignore (Exec.submit ?cache_blocks:t.cache_blocks ~on_complete t.pool t.db ereq)
+
+(* ---------------- replication handlers ---------------- *)
+
+(* Push pending records to every subscribed replica. Runs on the
+   accept-loop domain only (right after a wire write lands, and every
+   select tick for in-process writers), so subscriber cursors need no
+   locking. *)
+let flush_subscribers t =
+  let l = Replication.lsn t.repl in
+  let e = Replication.epoch t.repl in
+  List.iter
+    (fun c ->
+      match c.sub with
+      | Some sub when (not (Atomic.get c.closing)) && l > sub.sent_lsn -> (
+          match Replication.records_from t.repl sub.sent_lsn with
+          | Some records ->
+              let from_lsn = sub.sent_lsn in
+              sub.sent_lsn <- from_lsn + List.length records;
+              respond t c (Wire.Repl_records { epoch = e; from_lsn; records })
+          | None ->
+              (* the tail was trimmed past this subscriber: resync *)
+              let resp =
+                Replication.Gate.with_write t.gate (fun () ->
+                    Wire.Repl_snapshot
+                      { epoch = e; lsn = Replication.lsn t.repl; segments = Db.segments t.db })
+              in
+              (match resp with
+              | Wire.Repl_snapshot { lsn; _ } -> sub.sent_lsn <- lsn
+              | _ -> ());
+              respond t c resp)
+      | _ -> ())
+    t.conns
+
+(* A wire write: primary-only, committed through the idempotent replay
+   path (safe under client retry), serialized against queries by the
+   gate, then streamed out immediately. *)
+let handle_write t conn op =
+  if Atomic.get t.stopping then
+    respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
+  else if Replication.role t.repl <> Replication.Primary then
+    respond t conn
+      (Wire.Error (Wire.Not_primary, "read-only replica: write to the primary or promote"))
+  else begin
+    let changed = Replication.Gate.with_write t.gate (fun () -> Db.commit t.db op) in
+    respond t conn (Wire.Applied { lsn = Replication.lsn t.repl; changed });
+    flush_subscribers t
+  end
+
+let handle_subscribe t conn ~epoch ~from_lsn =
+  let my = Replication.epoch t.repl in
+  if Atomic.get t.stopping then
+    respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
+  else if epoch > my then begin
+    (* the subscriber has seen a newer primary: we are the stale one
+       and must not stream history the cluster has moved past *)
+    Log.warn ~comp:"repl" "subscriber carries newer epoch; refusing to stream" (fun () ->
+        [ Log.s "peer" conn.peer; Log.i "their_epoch" epoch; Log.i "our_epoch" my ]);
+    respond t conn
+      (Wire.Error
+         (Wire.Fenced, Printf.sprintf "node epoch %d is behind subscriber epoch %d" my epoch))
+  end
+  else if Replication.role t.repl <> Replication.Primary then
+    respond t conn (Wire.Error (Wire.Not_primary, "cannot subscribe to a replica"))
+  else begin
+    (* same epoch and a from_lsn the in-memory tail still covers →
+       stream the tail; anything else (an older epoch's divergent
+       history, a subscriber older than the retained tail, a fresh
+       node) → full snapshot under the gate, so (segments, lsn) is one
+       consistent cut *)
+    let answer =
+      if epoch = my then
+        match Replication.records_from t.repl from_lsn with
+        | Some records ->
+            Some (Wire.Repl_records { epoch = my; from_lsn; records }, from_lsn + List.length records)
+        | None -> None
+      else None
+    in
+    let answer, sent_lsn =
+      match answer with
+      | Some a -> a
+      | None ->
+          Replication.Gate.with_write t.gate (fun () ->
+              let lsn = Replication.lsn t.repl in
+              (Wire.Repl_snapshot { epoch = my; lsn; segments = Db.segments t.db }, lsn))
+    in
+    (* the cursor is exactly what this answer carries — never re-read
+       the stream lsn here, or a commit landing between building the
+       answer and this line would be skipped for this subscriber *)
+    conn.sub <- Some { sent_lsn };
+    Log.info ~comp:"repl" "replica subscribed" (fun () ->
+        [
+          Log.s "peer" conn.peer;
+          Log.i "from_lsn" from_lsn;
+          Log.i "epoch" epoch;
+          Log.b "snapshot" (match answer with Wire.Repl_snapshot _ -> true | _ -> false);
+        ]);
+    respond t conn answer
+  end
+
+let handle_ack t conn ~epoch ~lsn =
+  let my = Replication.epoch t.repl in
+  if epoch <> my then begin
+    Log.warn ~comp:"repl" "stale-epoch ack fenced" (fun () ->
+        [ Log.s "peer" conn.peer; Log.i "their_epoch" epoch; Log.i "our_epoch" my ]);
+    respond t conn
+      (Wire.Error
+         (Wire.Fenced, Printf.sprintf "ack epoch %d does not match node epoch %d" epoch my))
+  end
+  else Replication.ack t.repl ~peer:conn.peer lsn (* fire-and-forget: no response *)
+
+let handle_promote t conn ~epoch =
+  match Replication.role t.repl with
+  | Replication.Primary ->
+      let cur = Replication.epoch t.repl in
+      if epoch = 0 || epoch = cur then
+        (* idempotent for an operator script that retries *)
+        respond t conn (Wire.Promoted { epoch = cur })
+      else if epoch > cur then begin
+        (* operator-forced fence bump on a live primary *)
+        Replication.set_epoch t.repl epoch;
+        Log.info ~comp:"repl" "epoch bumped" (fun () -> [ Log.i "epoch" epoch ]);
+        respond t conn (Wire.Promoted { epoch })
+      end
+      else
+        respond t conn
+          (Wire.Error
+             ( Wire.Fenced,
+               Printf.sprintf "promote to epoch %d is behind current epoch %d" epoch cur
+             ))
+  | Replication.Replica -> (
+      match Replication.promote t.repl ~epoch () with
+      | new_epoch ->
+          (match t.tail with Some tl -> Replication.stop_tail tl | None -> ());
+          Log.info ~comp:"repl" "promoted to primary" (fun () ->
+              [ Log.i "epoch" new_epoch; Log.i "lsn" (Replication.lsn t.repl) ]);
+          respond t conn (Wire.Promoted { epoch = new_epoch })
+      | exception Invalid_argument msg -> respond t conn (Wire.Error (Wire.Fenced, msg)))
 
 (* ---------------- accept loop ---------------- *)
 
@@ -241,6 +445,12 @@ let dispatch t conn req =
       respond t conn
         (Wire.Slowlog_payload
            (match fmt with `Text -> Slowlog.to_text es | `Json -> Slowlog.to_json es))
+  | Wire.Insert s -> handle_write t conn (Db.Op_insert s)
+  | Wire.Delete s -> handle_write t conn (Db.Op_delete s)
+  | Wire.Repl_subscribe { epoch; from_lsn } -> handle_subscribe t conn ~epoch ~from_lsn
+  | Wire.Repl_ack { epoch; lsn } -> handle_ack t conn ~epoch ~lsn
+  | Wire.Repl_status -> respond t conn (Wire.Repl_status_payload (Replication.status t.repl))
+  | Wire.Promote { epoch } -> handle_promote t conn ~epoch
   | Wire.Query _ | Wire.Count _ | Wire.Batch _ | Wire.Batch_ex _ ->
       if Atomic.get t.stopping then respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
       else submit_query t conn req
@@ -292,6 +502,7 @@ let read_chunk t conn =
   | 0 -> Atomic.set conn.closing true
   | n ->
       if Control.enabled () then Metrics.add t.m_bytes_in n;
+      conn.last_active <- Unix.gettimeofday ();
       conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
       parse_frames t conn
   | exception Unix.Unix_error (_, _, _) -> Atomic.set conn.closing true
@@ -302,16 +513,23 @@ let peer_string fd =
   | Unix.ADDR_UNIX _ -> "unix"
   | exception Unix.Unix_error (_, _, _) -> "?"
 
-let accept_conn t conns =
+let accept_conn t =
   match Unix.accept t.lfd with
   | exception Unix.Unix_error (_, _, _) -> ()
   | fd, _ ->
       (match t.bound with
       | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
       | Unix_path _ -> ());
-      let peer = peer_string fd in
+      (* Unix-socket peers are all anonymous; the counter keeps them
+         distinct in logs and in the replication ack table *)
+      t.next_conn <- t.next_conn + 1;
+      let peer =
+        match peer_string fd with
+        | "unix" -> Printf.sprintf "unix#%d" t.next_conn
+        | p -> p
+      in
       Log.info ~comp:"server" "connection accepted" (fun () -> [ Log.s "peer" peer ]);
-      conns :=
+      t.conns <-
         {
           fd;
           peer;
@@ -319,61 +537,106 @@ let accept_conn t conns =
           wlock = Mutex.create ();
           pending = Atomic.make 0;
           closing = Atomic.make false;
+          last_active = Unix.gettimeofday ();
+          sub = None;
         }
-        :: !conns
+        :: t.conns
 
 (* Close connections marked [closing] whose queued jobs have all
-   answered — deferring the close keeps worker writes off a reused fd. *)
-let reap conns =
+   answered — deferring the close keeps worker writes off a reused fd.
+   With [idle_timeout_s] set, a peer silent past it is reaped too:
+   a dead client must not hold its slot forever. Subscribed replicas
+   are exempt — quiet is their steady state between writes. *)
+let reap t =
+  if t.idle_timeout_s > 0. then begin
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun c ->
+        if
+          (not (Atomic.get c.closing))
+          && c.sub = None
+          && Atomic.get c.pending = 0
+          && now -. c.last_active > t.idle_timeout_s
+        then begin
+          Log.info ~comp:"server" "idle connection reaped" (fun () ->
+              [ Log.s "peer" c.peer; Log.f "idle_s" (now -. c.last_active) ]);
+          Atomic.set c.closing true
+        end)
+      t.conns
+  end;
   let dead, live =
-    List.partition (fun c -> Atomic.get c.closing && Atomic.get c.pending = 0) !conns
+    List.partition (fun c -> Atomic.get c.closing && Atomic.get c.pending = 0) t.conns
   in
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()) dead;
-  conns := live
+  t.conns <- live
 
 let run t =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
-  let conns = ref [] in
   (* serve *)
   while not (Atomic.get t.stopping) do
-    let rfds = t.lfd :: List.map (fun c -> c.fd) !conns in
+    let rfds = t.lfd :: List.map (fun c -> c.fd) t.conns in
     (match Unix.select rfds [] [] 0.05 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ ->
         List.iter
           (fun fd ->
-            if fd = t.lfd then accept_conn t conns
+            if fd = t.lfd then accept_conn t
             else
-              match List.find_opt (fun c -> c.fd = fd) !conns with
+              match List.find_opt (fun c -> c.fd = fd) t.conns with
               | Some c when not (Atomic.get c.closing) -> read_chunk t c
               | _ -> ())
           ready);
-    reap conns
+    reap t;
+    (* pushes records landed by in-process writers (wire writes flush
+       inline); bounds steady-state replication lag at one tick *)
+    flush_subscribers t
   done;
-  (* drain: no new connections or requests; answer what is queued, then
-     stop the pool (joins its worker domains) *)
+  (match t.tail with Some tl -> Replication.stop_tail tl | None -> ());
   (try Unix.close t.lfd with Unix.Unix_error (_, _, _) -> ());
-  Log.info ~comp:"server" "draining" (fun () ->
-      [
-        Log.s "addr" (addr_to_string t.bound);
-        Log.i "connections" (List.length !conns);
-        Log.i "pending" (List.fold_left (fun a c -> a + Atomic.get c.pending) 0 !conns);
-      ]);
-  let drained () = List.for_all (fun c -> Atomic.get c.pending = 0) !conns in
-  while not (drained ()) do
-    Unix.sleepf 0.002
-  done;
-  Exec.shutdown t.pool;
-  Log.info ~comp:"server" "drained; pool stopped" (fun () ->
-      [ Log.s "addr" (addr_to_string t.bound) ]);
-  List.iter (fun c -> Atomic.set c.closing true) !conns;
-  List.iter (fun c -> Atomic.set c.pending 0) !conns;
-  reap conns;
-  match t.bound with
-  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) | Sys_error _ -> ())
-  | Tcp _ -> ()
+  let drained () = List.for_all (fun c -> Atomic.get c.pending = 0) t.conns in
+  if Atomic.get t.killed then begin
+    (* abrupt death (chaos soak): sever every connection mid-exchange —
+       no drain answers, no unlink (a real SIGKILL leaves the socket
+       path behind). Fds close only after in-flight jobs finish, so a
+       worker's response write hits a severed socket, never a reused
+       descriptor. *)
+    List.iter
+      (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+      t.conns;
+    while not (drained ()) do
+      Unix.sleepf 0.002
+    done;
+    Exec.shutdown t.pool;
+    List.iter (fun c -> Atomic.set c.closing true) t.conns;
+    reap t
+  end
+  else begin
+    (* drain: no new connections or requests; answer what is queued,
+       then stop the pool (joins its worker domains) *)
+    Log.info ~comp:"server" "draining" (fun () ->
+        [
+          Log.s "addr" (addr_to_string t.bound);
+          Log.i "connections" (List.length t.conns);
+          Log.i "pending" (List.fold_left (fun a c -> a + Atomic.get c.pending) 0 t.conns);
+        ]);
+    while not (drained ()) do
+      Unix.sleepf 0.002
+    done;
+    Exec.shutdown t.pool;
+    Log.info ~comp:"server" "drained; pool stopped" (fun () ->
+        [ Log.s "addr" (addr_to_string t.bound) ]);
+    List.iter (fun c -> Atomic.set c.closing true) t.conns;
+    List.iter (fun c -> Atomic.set c.pending 0) t.conns;
+    reap t;
+    match t.bound with
+    | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) | Sys_error _ -> ())
+    | Tcp _ -> ()
+  end;
+  match t.tail with
+  | Some tl -> Replication.join_tail tl
+  | None -> ()
 
 let start t = t.runner <- Some (Domain.spawn (fun () -> run t))
 

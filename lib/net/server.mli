@@ -50,6 +50,9 @@ val create :
   ?queue_depth:int ->
   ?deadline_ms:int ->
   ?cache_blocks:int ->
+  ?idle_timeout_s:float ->
+  ?epoch:int ->
+  ?replica_of:addr ->
   db:Db.t ->
   addr ->
   t
@@ -60,7 +63,22 @@ val create :
     backpressure), [deadline_ms] is the per-request budget from
     submission (default 5000; 0 disables), [cache_blocks] sizes each
     worker's cached reader shard. Raises [Unix.Unix_error] if the
-    address cannot be bound. *)
+    address cannot be bound.
+
+    [idle_timeout_s] (default 0 = never) reaps connections with no
+    traffic and no in-flight requests for that long — a dead peer must
+    not hold its slot forever; each reap is logged. Subscribed
+    replicas are exempt.
+
+    [replica_of] starts the node as a {e replica} of the primary at
+    that address: a background tail subscribes from the node's applied
+    LSN, applies pushed records behind the query gate (each apply
+    bumps [Segdb.generation], so worker readers rebuild), and catches
+    up by snapshot when it joins late or reconnects after a partition.
+    A replica answers queries normally but refuses writes and
+    subscriptions with [Not_primary] until a [Promote] frame turns it
+    into a primary at a fenced epoch. [epoch] seeds the fencing epoch
+    (default 1 for a primary, 0 for a replica). *)
 
 val bound_addr : t -> addr
 (** The actual listening address — the kernel-chosen port when the TCP
@@ -68,6 +86,9 @@ val bound_addr : t -> addr
 
 val pool : t -> Exec.t
 (** The server's execution pool (for size / introspection). *)
+
+val replication : t -> Replication.t
+(** The node's replication stream state: role, epoch, LSN, acks. *)
 
 val run : t -> unit
 (** Serve until a [Shutdown] frame arrives or {!stop} is called; the
@@ -82,6 +103,12 @@ val start : t -> unit
 val stop : t -> unit
 (** Request a graceful drain. Async-signal-safe: only flips an atomic;
     the accept loop notices within its select tick. *)
+
+val kill : t -> unit
+(** Abrupt death, for chaos tests: stop without draining. Queued
+    requests are never answered, every connection is severed
+    mid-exchange, and (for Unix sockets) the path is left behind —
+    what a SIGKILL would leave. Like {!stop}, only flips atomics. *)
 
 val wait : t -> unit
 (** Join a server started with {!start} (returns immediately if {!run}

@@ -3,6 +3,7 @@ module Codec = Segdb_io.Codec
 module Crc = Segdb_io.Crc
 module Failpoint = Segdb_io.Failpoint
 module Trace = Segdb_obs.Trace
+module Seg_file = Segdb_core.Seg_file
 
 type request =
   | Ping
@@ -14,6 +15,12 @@ type request =
   | Batch_ex of { request_id : int; trace : bool; queries : Vquery.t array }
   | Trace_fetch of { request_id : int }
   | Slowlog of [ `Text | `Json ]
+  | Insert of Segment.t
+  | Delete of Segment.t
+  | Repl_subscribe of { epoch : int; from_lsn : int }
+  | Repl_ack of { epoch : int; lsn : int }
+  | Repl_status
+  | Promote of { epoch : int }
 
 type error_code =
   | Overloaded
@@ -22,6 +29,15 @@ type error_code =
   | Corrupt_frame
   | Server_error
   | Shutting_down
+  | Not_primary
+  | Fenced
+
+type repl_status = {
+  role : string;
+  epoch : int;
+  lsn : int;
+  peers : (string * int) list;
+}
 
 type response =
   | Pong
@@ -33,6 +49,11 @@ type response =
   | Shutdown_ack
   | Trace_events of Trace.event list
   | Slowlog_payload of string
+  | Applied of { lsn : int; changed : bool }
+  | Repl_records of { epoch : int; from_lsn : int; records : string list }
+  | Repl_snapshot of { epoch : int; lsn : int; segments : Segment.t array }
+  | Repl_status_payload of repl_status
+  | Promoted of { epoch : int }
 
 type protocol_error =
   | Truncated
@@ -60,6 +81,8 @@ let error_code_to_string = function
   | Corrupt_frame -> "corrupt frame"
   | Server_error -> "server error"
   | Shutting_down -> "shutting down"
+  | Not_primary -> "not primary"
+  | Fenced -> "fenced (stale epoch)"
 
 (* ---------------- payload codecs ---------------- *)
 
@@ -128,6 +151,25 @@ let read_event r =
 let event_codec : Trace.event Codec.t = { Codec.write = write_event; read = read_event }
 let events_codec = Codec.list event_codec
 
+(* Replication payloads: records are opaque WAL record bytes (the
+   [Segdb.op] encoding), snapshots carry the full segment set, peers
+   pair a peer string with its acknowledged LSN. *)
+let records_codec = Codec.(list string)
+let peers_codec = Codec.(list (pair string int))
+
+let write_repl_status b (st : repl_status) =
+  Codec.W.str b st.role;
+  Codec.W.u64 b st.epoch;
+  Codec.W.u64 b st.lsn;
+  peers_codec.Codec.write b st.peers
+
+let read_repl_status r =
+  let role = Codec.R.str r in
+  let epoch = Codec.R.u64 r in
+  let lsn = Codec.R.u64 r in
+  let peers = peers_codec.Codec.read r in
+  { role; epoch; lsn; peers }
+
 let code_to_tag = function
   | Overloaded -> 1
   | Deadline -> 2
@@ -135,6 +177,8 @@ let code_to_tag = function
   | Corrupt_frame -> 4
   | Server_error -> 5
   | Shutting_down -> 6
+  | Not_primary -> 7
+  | Fenced -> 8
 
 let code_of_tag = function
   | 1 -> Overloaded
@@ -143,6 +187,8 @@ let code_of_tag = function
   | 4 -> Corrupt_frame
   | 5 -> Server_error
   | 6 -> Shutting_down
+  | 7 -> Not_primary
+  | 8 -> Fenced
   | t -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" t))
 
 (* Request tags live below 128, response tags at or above — a stray
@@ -176,7 +222,25 @@ let request_payload req =
       Codec.W.u64 b request_id
   | Slowlog fmt ->
       Codec.W.u8 b 9;
-      Codec.W.u8 b (dump_fmt_to_tag fmt));
+      Codec.W.u8 b (dump_fmt_to_tag fmt)
+  | Insert s ->
+      Codec.W.u8 b 10;
+      Seg_file.codec.Codec.write b s
+  | Delete s ->
+      Codec.W.u8 b 11;
+      Seg_file.codec.Codec.write b s
+  | Repl_subscribe { epoch; from_lsn } ->
+      Codec.W.u8 b 12;
+      Codec.W.u64 b epoch;
+      Codec.W.u64 b from_lsn
+  | Repl_ack { epoch; lsn } ->
+      Codec.W.u8 b 13;
+      Codec.W.u64 b epoch;
+      Codec.W.u64 b lsn
+  | Repl_status -> Codec.W.u8 b 14
+  | Promote { epoch } ->
+      Codec.W.u8 b 15;
+      Codec.W.u64 b epoch);
   Buffer.contents b
 
 let response_payload resp =
@@ -209,7 +273,27 @@ let response_payload resp =
       events_codec.Codec.write b evs
   | Slowlog_payload s ->
       Codec.W.u8 b 136;
-      Codec.W.str b s);
+      Codec.W.str b s
+  | Applied { lsn; changed } ->
+      Codec.W.u8 b 137;
+      Codec.W.u64 b lsn;
+      Codec.bool.Codec.write b changed
+  | Repl_records { epoch; from_lsn; records } ->
+      Codec.W.u8 b 138;
+      Codec.W.u64 b epoch;
+      Codec.W.u64 b from_lsn;
+      records_codec.Codec.write b records
+  | Repl_snapshot { epoch; lsn; segments } ->
+      Codec.W.u8 b 139;
+      Codec.W.u64 b epoch;
+      Codec.W.u64 b lsn;
+      Seg_file.array_codec.Codec.write b segments
+  | Repl_status_payload st ->
+      Codec.W.u8 b 140;
+      write_repl_status b st
+  | Promoted { epoch } ->
+      Codec.W.u8 b 141;
+      Codec.W.u64 b epoch);
   Buffer.contents b
 
 (* Total decoding: anything [Codec] or a [Vquery] constructor rejects
@@ -247,6 +331,18 @@ let decode_request payload =
           Some (Batch_ex { request_id; trace; queries })
       | 8 -> Some (Trace_fetch { request_id = Codec.R.u64 r })
       | 9 -> Some (Slowlog (dump_fmt_of_tag (Codec.R.u8 r)))
+      | 10 -> Some (Insert (Seg_file.codec.Codec.read r))
+      | 11 -> Some (Delete (Seg_file.codec.Codec.read r))
+      | 12 ->
+          let epoch = Codec.R.u64 r in
+          let from_lsn = Codec.R.u64 r in
+          Some (Repl_subscribe { epoch; from_lsn })
+      | 13 ->
+          let epoch = Codec.R.u64 r in
+          let lsn = Codec.R.u64 r in
+          Some (Repl_ack { epoch; lsn })
+      | 14 -> Some Repl_status
+      | 15 -> Some (Promote { epoch = Codec.R.u64 r })
       | _ -> None)
 
 let decode_response payload =
@@ -272,6 +368,22 @@ let decode_response payload =
       | 134 -> Some Shutdown_ack
       | 135 -> Some (Trace_events (events_codec.Codec.read r))
       | 136 -> Some (Slowlog_payload (Codec.R.str r))
+      | 137 ->
+          let lsn = Codec.R.u64 r in
+          let changed = Codec.bool.Codec.read r in
+          Some (Applied { lsn; changed })
+      | 138 ->
+          let epoch = Codec.R.u64 r in
+          let from_lsn = Codec.R.u64 r in
+          let records = records_codec.Codec.read r in
+          Some (Repl_records { epoch; from_lsn; records })
+      | 139 ->
+          let epoch = Codec.R.u64 r in
+          let lsn = Codec.R.u64 r in
+          let segments = Seg_file.array_codec.Codec.read r in
+          Some (Repl_snapshot { epoch; lsn; segments })
+      | 140 -> Some (Repl_status_payload (read_repl_status r))
+      | 141 -> Some (Promoted { epoch = Codec.R.u64 r })
       | _ -> None)
 
 (* ---------------- framing ---------------- *)

@@ -47,6 +47,38 @@ type request =
           client→server→storage timeline after a traced batch. *)
   | Slowlog of [ `Text | `Json ]
       (** Dump the server's slow-query log (as {!Slowlog_payload}). *)
+  | Insert of Segment.t
+      (** Commit one insert through the primary (answered {!Applied}).
+          Applied idempotently, so a replay after a torn response is a
+          no-op — which is what makes a write safe under the client's
+          retry policy. A replica answers [Error (Not_primary, _)]. *)
+  | Delete of Segment.t
+      (** Commit one delete (full segment: id + geometry) — see
+          {!Insert}. *)
+  | Repl_subscribe of { epoch : int; from_lsn : int }
+      (** A replica joins the primary's replication stream from its
+          applied LSN, carrying the highest epoch it has seen. The
+          primary answers {!Repl_records} when its in-memory tail still
+          covers [from_lsn] at the same epoch, {!Repl_snapshot}
+          (full-state catch-up) otherwise, and [Error (Fenced, _)] when
+          [epoch] is {e newer} than its own — a primary that has been
+          superseded must not stream stale history. After the answer
+          the connection stays subscribed: new records are pushed as
+          further {!Repl_records} frames. *)
+  | Repl_ack of { epoch : int; lsn : int }
+      (** The replica's applied-prefix acknowledgement, sent after each
+          applied batch. Fire-and-forget (no response) unless the epoch
+          is stale, which is answered [Error (Fenced, _)]. *)
+  | Repl_status
+      (** Replication introspection (answered {!Repl_status_payload}):
+          role, epoch, committed LSN, and per-peer acknowledged LSNs —
+          what the CLI's [repl-status] prints and CI derives replica
+          lag from. *)
+  | Promote of { epoch : int }
+      (** Turn a replica into a writable primary at [epoch] (0 picks
+          [current + 1]). Fenced: an epoch at or below the node's
+          current one is refused, and promoting an existing primary is
+          an idempotent no-op answered with its current epoch. *)
 
 (** Typed failure channel carried in {!Error} responses. The split
     matters to the client's retry policy: [Overloaded] and
@@ -61,6 +93,22 @@ type error_code =
                        the server closes it, the client should retry *)
   | Server_error  (** the handler raised; message carries the details *)
   | Shutting_down  (** draining; no new work accepted *)
+  | Not_primary
+      (** a write or subscribe reached a replica — failover-able: a
+          multi-endpoint client rotates to the next endpoint *)
+  | Fenced
+      (** the frame's epoch is stale (or, for a subscribe, newer than
+          the answering node's): a revived stale primary is refused,
+          not obeyed — definitive, never retried *)
+
+(** One node's replication standing, as answered to {!Repl_status}. *)
+type repl_status = {
+  role : string;  (** ["primary"] or ["replica"] *)
+  epoch : int;
+  lsn : int;  (** committed (primary) / applied (replica) LSN *)
+  peers : (string * int) list;
+      (** on a primary: each subscribed replica's acknowledged LSN *)
+}
 
 type response =
   | Pong
@@ -78,6 +126,21 @@ type response =
           observability was off or the ring wrapped past them. *)
   | Slowlog_payload of string
       (** A {!Slowlog} answer, pre-rendered in the requested format. *)
+  | Applied of { lsn : int; changed : bool }
+      (** A write landed: the primary's committed LSN after it, and
+          whether the index changed ([false] = idempotent replay). *)
+  | Repl_records of { epoch : int; from_lsn : int; records : string list }
+      (** A contiguous run of WAL records starting at [from_lsn], in
+          commit order; [records] are opaque {!Segdb_core.Segdb.op}
+          encodings. Pushed to every subscribed replica as writes
+          land. *)
+  | Repl_snapshot of { epoch : int; lsn : int; segments : Segment.t array }
+      (** Full-state catch-up: the primary's entire segment set as of
+          [lsn]. Sent when the subscriber's [from_lsn] is no longer
+          covered by the primary's in-memory tail, or when its epoch
+          differs (divergent history is discarded, not merged). *)
+  | Repl_status_payload of repl_status
+  | Promoted of { epoch : int }
 
 type protocol_error =
   | Truncated  (** the stream ended mid-frame *)

@@ -705,6 +705,94 @@ let test_wal_corrupt_byte () =
       close_out oc;
       Alcotest.(check (list string)) "corrupt frame stops the scan" [] (Wal.scan path))
 
+(* Replay from an arbitrary LSN offset into the log's total order —
+   the replication catch-up path. *)
+let test_wal_scan_from () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let payloads = [ "a"; "bb"; ""; "dddd"; "e" ] in
+      let w, _ = Wal.open_ ~sync:false path in
+      List.iter (Wal.append w) payloads;
+      Wal.close w;
+      Alcotest.(check (list string)) "from 0 = scan" payloads (Wal.scan_from path ~from:0);
+      Alcotest.(check (list string))
+        "negative behaves like 0" payloads
+        (Wal.scan_from path ~from:(-3));
+      Alcotest.(check (list string))
+        "mid offset" [ ""; "dddd"; "e" ]
+        (Wal.scan_from path ~from:2);
+      Alcotest.(check (list string)) "last record" [ "e" ] (Wal.scan_from path ~from:4);
+      Alcotest.(check (list string)) "at the end" [] (Wal.scan_from path ~from:5);
+      Alcotest.(check (list string)) "past the end" [] (Wal.scan_from path ~from:50);
+      Alcotest.(check (list string))
+        "missing file" []
+        (Wal.scan_from (path ^ ".does-not-exist") ~from:0))
+
+(* A tail torn exactly at a record boundary is indistinguishable from a
+   clean close: every record before the cut survives, the audit shows
+   zero torn bytes, and open_ truncates nothing. *)
+let test_wal_torn_at_record_boundary () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  let torn = Filename.temp_file "segdb_wal" ".torn" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove torn)
+    (fun () ->
+      let payloads = [ "alpha"; ""; "gamma!" ] in
+      let w, _ = Wal.open_ ~sync:false path in
+      List.iter (Wal.append w) payloads;
+      Wal.close w;
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let cut = ref 0 in
+      List.iteri
+        (fun i p ->
+          cut := !cut + 8 + String.length p;
+          let oc = open_out_bin torn in
+          output_string oc (String.sub data 0 !cut);
+          close_out oc;
+          let a = Wal.audit torn in
+          Alcotest.(check int)
+            (Printf.sprintf "boundary %d: records" i)
+            (i + 1) a.Wal.audit_records;
+          Alcotest.(check int)
+            (Printf.sprintf "boundary %d: no torn tail" i)
+            a.Wal.valid_bytes a.Wal.file_bytes;
+          let w, replayed = Wal.open_ ~sync:false torn in
+          Alcotest.(check int)
+            (Printf.sprintf "boundary %d: replay" i)
+            (i + 1) (List.length replayed);
+          Alcotest.(check int)
+            (Printf.sprintf "boundary %d: open_ truncated nothing" i)
+            !cut
+            (Unix.stat torn).Unix.st_size;
+          Wal.close w)
+        payloads)
+
+(* Audit on an empty (zero-length but existing) log: all zeros, and
+   consistent with what open_ replays. *)
+let test_wal_audit_empty () =
+  let path = Filename.temp_file "segdb_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Alcotest.(check int) "fresh temp file is empty" 0 (Unix.stat path).Unix.st_size;
+      let a = Wal.audit path in
+      Alcotest.(check int) "no records" 0 a.Wal.audit_records;
+      Alcotest.(check int) "no valid bytes" 0 a.Wal.valid_bytes;
+      Alcotest.(check int) "no file bytes" 0 a.Wal.file_bytes;
+      let w, replayed = Wal.open_ ~sync:false path in
+      Alcotest.(check (list string)) "open_ replays nothing" [] replayed;
+      Wal.close w;
+      Alcotest.(check (list string)) "scan_from on empty" [] (Wal.scan_from path ~from:0))
+
 (* ---------------- Failpoint + checksummed store ---------------- *)
 
 (* Every test arms the global registry, so every test disarms in a
@@ -1081,4 +1169,8 @@ let suite =
         Alcotest.test_case "wal reset" `Quick test_wal_reset;
         Alcotest.test_case "wal torn tail at every offset" `Quick test_wal_torn_tail_sweep;
         Alcotest.test_case "wal corrupt byte" `Quick test_wal_corrupt_byte;
+        Alcotest.test_case "wal scan from arbitrary lsn" `Quick test_wal_scan_from;
+        Alcotest.test_case "wal torn exactly at record boundary" `Quick
+          test_wal_torn_at_record_boundary;
+        Alcotest.test_case "wal audit on empty log" `Quick test_wal_audit_empty;
       ] )

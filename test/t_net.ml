@@ -30,6 +30,11 @@ let resp_name = function
   | Wire.Shutdown_ack -> "shutdown_ack"
   | Wire.Trace_events _ -> "trace_events"
   | Wire.Slowlog_payload _ -> "slowlog_payload"
+  | Wire.Applied _ -> "applied"
+  | Wire.Repl_records _ -> "repl_records"
+  | Wire.Repl_snapshot _ -> "repl_snapshot"
+  | Wire.Repl_status_payload _ -> "repl_status_payload"
+  | Wire.Promoted _ -> "promoted"
 
 (* ---------------- generators ---------------- *)
 
@@ -49,6 +54,15 @@ let gen_vquery =
           gen_coord gen_coord;
       ])
 
+let gen_segment =
+  QCheck.Gen.(
+    map
+      (fun ((id, (xa, ya)), (xb, yb)) ->
+        Segdb_geom.Segment.make ~id (xa, ya) (xb, yb))
+      (tup2
+         (tup2 (int_bound 1_000_000) (tup2 gen_coord gen_coord))
+         (tup2 gen_coord gen_coord)))
+
 let gen_request =
   QCheck.Gen.(
     oneof
@@ -66,6 +80,16 @@ let gen_request =
           (list_size (int_bound 8) gen_vquery);
         map (fun request_id -> Wire.Trace_fetch { request_id }) (int_bound 1_000_000_000);
         map (fun f -> Wire.Slowlog f) (oneofl [ `Text; `Json ]);
+        map (fun s -> Wire.Insert s) gen_segment;
+        map (fun s -> Wire.Delete s) gen_segment;
+        map2
+          (fun epoch from_lsn -> Wire.Repl_subscribe { epoch; from_lsn })
+          (int_bound 1_000) (int_bound 1_000_000);
+        map2
+          (fun epoch lsn -> Wire.Repl_ack { epoch; lsn })
+          (int_bound 1_000) (int_bound 1_000_000);
+        return Wire.Repl_status;
+        map (fun epoch -> Wire.Promote { epoch }) (int_bound 1_000);
       ])
 
 let gen_ids = QCheck.Gen.(list_size (int_bound 16) (int_bound 1_000_000))
@@ -98,6 +122,8 @@ let gen_response =
                Wire.Corrupt_frame;
                Wire.Server_error;
                Wire.Shutting_down;
+               Wire.Not_primary;
+               Wire.Fenced;
              ])
           gen_text;
         return Wire.Shutdown_ack;
@@ -121,6 +147,27 @@ let gen_response =
                    (tup3 (int_bound max_int) (int_bound 1_000_000_000) (int_bound 10_000))
                    (tup2 (int_bound max_int) (int_bound 64)))));
         map (fun s -> Wire.Slowlog_payload s) gen_text;
+        map2
+          (fun lsn changed -> Wire.Applied { lsn; changed })
+          (int_bound 1_000_000) bool;
+        map3
+          (fun epoch from_lsn records ->
+            Wire.Repl_records { epoch; from_lsn; records })
+          (int_bound 1_000) (int_bound 1_000_000)
+          (list_size (int_bound 6) gen_text);
+        map3
+          (fun epoch lsn segs ->
+            Wire.Repl_snapshot { epoch; lsn; segments = Array.of_list segs })
+          (int_bound 1_000) (int_bound 1_000_000)
+          (list_size (int_bound 6) gen_segment);
+        map
+          (fun ((role, epoch), (lsn, peers)) ->
+            Wire.Repl_status_payload { Wire.role; epoch; lsn; peers })
+          (tup2
+             (tup2 (oneofl [ "primary"; "replica" ]) (int_bound 1_000))
+             (tup2 (int_bound 1_000_000)
+                (list_size (int_bound 4) (tup2 gen_text (int_bound 1_000_000)))));
+        map (fun epoch -> Wire.Promoted { epoch }) (int_bound 1_000);
       ])
 
 (* ---------------- wire codec ---------------- *)
