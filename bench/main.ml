@@ -22,7 +22,7 @@ let quick =
 
 (* ---------------- machine-readable output ---------------- *)
 
-(* Every measurement also lands in BENCH_PR8.json so runs can be
+(* Every measurement also lands in BENCH_PR10.json so runs can be
    diffed without scraping the ASCII tables. *)
 
 type json_row = {
@@ -266,10 +266,12 @@ let run_traced_phases () =
   print_string (Segdb_obs.Export.phase_summary Segdb_obs.Metrics.default)
 
 (* Observability overhead: the same solution2 query mix timed with the
-   obs layer off (every probe site reduced to one Atomic.get) and on
-   (spans recorded into per-domain rings, histograms fed). The pair of
-   rows is the PR's overhead contract: obs-off must stay within noise
-   of the uninstrumented hot path. *)
+   obs layer off (every probe site reduced to one Atomic.get), on
+   (spans recorded into per-domain rings, histograms fed), and on with
+   the background sampler ticking at 100ms and at 10ms. The rows are
+   the PR's overhead contract: obs-off must stay within noise of the
+   uninstrumented hot path, and the sampler — which only reads the
+   registry from its own domain — must not move the query numbers. *)
 let run_obs_overhead () =
   let n = if quick then 1 lsl 12 else 1 lsl 15 in
   let span = 1000.0 in
@@ -293,12 +295,23 @@ let run_obs_overhead () =
         Segdb_obs.Trace.clear ();
         measure ())
   in
+  let with_sampler interval_ms =
+    Segdb_obs.Control.with_enabled (fun () ->
+        Segdb_obs.Sampler.start ~interval_ms ();
+        Fun.protect ~finally:Segdb_obs.Sampler.stop measure)
+  in
+  let s100 = with_sampler 100 in
+  let s10 = with_sampler 10 in
   add_json { (row "solution2" "query_obs_off") with ns_per_op = Some off };
   add_json { (row "solution2" "query_obs_on") with ns_per_op = Some on };
+  add_json { (row "solution2" "query_sampler_100ms") with ns_per_op = Some s100 };
+  add_json { (row "solution2" "query_sampler_10ms") with ns_per_op = Some s10 };
   Printf.printf
-    "solution2 query mix: %.1f us/op obs off, %.1f us/op obs on (%+.1f%%)\n"
+    "solution2 query mix: %.1f us/op obs off, %.1f us/op obs on (%+.1f%%), %.1f us/op \
+     sampler@100ms, %.1f us/op sampler@10ms\n"
     (off /. 1e3) (on /. 1e3)
     (100.0 *. ((on /. off) -. 1.0))
+    (s100 /. 1e3) (s10 /. 1e3)
 
 (* ---------------- parallel query throughput ---------------- *)
 
@@ -790,4 +803,4 @@ let () =
   Printf.printf "\n=== replication: catch-up, lag, failover ===\n\n";
   run_replication ();
   print_newline ();
-  write_json "BENCH_PR8.json"
+  write_json "BENCH_PR10.json"

@@ -212,13 +212,18 @@ let format_t =
 
 let render_metrics = function
   | `Text ->
+      if not (Obs.Control.enabled ()) then
+        print_endline "observability disabled (set SEGDB_OBS=1 to enable)\n";
       print_string (Obs.Export.text Obs.Metrics.default);
       print_string (Obs.Export.phase_summary Obs.Metrics.default)
   | `Json -> print_string (Obs.Export.json Obs.Metrics.default)
-  | `Prometheus -> print_string (Obs.Export.prometheus Obs.Metrics.default)
+  | `Prometheus ->
+      if not (Obs.Control.enabled ()) then
+        print_endline "# observability disabled (set SEGDB_OBS=1 to enable)";
+      print_string (Obs.Export.prometheus Obs.Metrics.default)
 
 let stats_local file backend block pool nqueries selectivity seed format =
-  Obs.Control.enable ();
+  if not (Obs.Control.forced_off ()) then Obs.Control.enable ();
   let segs = Seg_file.load file in
   let t0 = Unix.gettimeofday () in
   let db = Db.create ~backend ~block ~pool_blocks:pool segs in
@@ -997,14 +1002,21 @@ let verify_cmd =
 (* ---------------- serve / ping / shutdown ---------------- *)
 
 let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms
-    replica_of epoch idle_timeout_s =
-  if not no_obs then Obs.Control.enable ();
+    replica_of epoch idle_timeout_s metrics_addr sample_ms =
+  if (not no_obs) && not (Obs.Control.forced_off ()) then Obs.Control.enable ();
   Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   let db = Server.open_or_build ~backend ~block file in
   let srv =
     Server.create ~domains ~queue_depth ~deadline_ms ~idle_timeout_s ?epoch ?replica_of
       ~db addr
   in
+  let metrics_bound = Option.map (Server.serve_metrics srv) metrics_addr in
+  (match metrics_bound with
+  | Some ma ->
+      Obs.Sampler.start ~interval_ms:sample_ms ();
+      Printf.printf "metrics on %s (/metrics, /healthz, /varz; sampling every %dms)\n%!"
+        (Server.addr_to_string ma) sample_ms
+  | None -> ());
   let on_signal _ = Server.stop srv in
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
@@ -1025,6 +1037,7 @@ let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms
     (Exec.size (Server.pool srv))
     queue_depth deadline_ms;
   Server.run srv;
+  if metrics_bound <> None then Obs.Sampler.stop ();
   Printf.printf "drained: %d requests served\n"
     (Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default "net.requests"));
   0
@@ -1095,6 +1108,26 @@ let idle_timeout_s_t =
           "Reap connections with no traffic and no in-flight requests for $(docv) \
            seconds (0 = never). Subscribed replicas are exempt.")
 
+let metrics_addr_t =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "metrics-addr" ] ~docv:"ADDR"
+        ~doc:
+          "Also serve HTTP monitoring endpoints on $(docv): $(b,/metrics) (Prometheus \
+           exposition with rate and window gauges), $(b,/healthz) (role, epoch, LSN, \
+           replication lag; 200 healthy / 503 stalled) and $(b,/varz) (the sampler's \
+           time-series ring as JSON). Starts the background sampler.")
+
+let sample_ms_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "sample-ms" ] ~docv:"MS"
+        ~doc:
+          "Sampler interval: how often the background sampler snapshots the metrics \
+           registry to compute per-interval rates and windowed percentiles (only \
+           meaningful with $(b,--metrics-addr)).")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -1103,11 +1136,12 @@ let serve_cmd =
           loop submits decoded frames to a persistent $(b,Segdb_exec) pool (bounded \
           admission, per-request deadlines, cooperative cancellation); SIGTERM/SIGINT \
           or a $(i,shutdown) frame drains gracefully; with $(b,--replica-of) the node \
-          serves reads while tailing a primary's WAL stream")
+          serves reads while tailing a primary's WAL stream; with $(b,--metrics-addr) \
+          it also exports $(b,/metrics), $(b,/healthz) and $(b,/varz) over HTTP")
     Term.(
       const serve $ file_t $ serve_addr_t $ backend_t $ block_t $ serve_domains_t
       $ queue_depth_t $ deadline_ms_t $ no_obs_t $ slow_ms_t $ replica_of_t $ epoch_t
-      $ idle_timeout_s_t)
+      $ idle_timeout_s_t $ metrics_addr_t $ sample_ms_t)
 
 let server_pos_t =
   Arg.(
@@ -1177,13 +1211,15 @@ let promote_cmd =
 let repl_status_server addr =
   with_client [ addr ] (fun c ->
       let st = Client.repl_status c in
-      Printf.printf "%s: role=%s epoch=%d lsn=%d\n"
+      Printf.printf "%s: role=%s epoch=%d lsn=%d last-progress %.1fs ago\n"
         (Server.addr_to_string addr)
-        st.Segdb_net.Wire.role st.Segdb_net.Wire.epoch st.Segdb_net.Wire.lsn;
+        st.Segdb_net.Wire.role st.Segdb_net.Wire.epoch st.Segdb_net.Wire.lsn
+        (float_of_int st.Segdb_net.Wire.progress_ms /. 1e3);
       List.iter
-        (fun (peer, acked) ->
-          Printf.printf "  replica %s acked lsn %d (lag %d)\n" peer acked
-            (st.Segdb_net.Wire.lsn - acked))
+        (fun { Segdb_net.Wire.peer; acked_lsn; sent_lsn } ->
+          Printf.printf "  replica %s acked lsn %d, sent lsn %d (lag %d)\n" peer
+            acked_lsn sent_lsn
+            (st.Segdb_net.Wire.lsn - acked_lsn))
         st.Segdb_net.Wire.peers;
       0)
 
@@ -1192,7 +1228,8 @@ let repl_status_cmd =
     (Cmd.info "repl-status"
        ~doc:
          "print a node's replication standing: role, fencing epoch, committed LSN, \
-          and each subscribed replica's acknowledged LSN")
+          time since the stream last made progress, and each subscribed replica's \
+          acknowledged and sent cursors")
     Term.(const repl_status_server $ server_pos_t)
 
 let seg_of_args id x1 y1 x2 y2 = Segment.make ~id (x1, y1) (x2, y2)
@@ -1268,6 +1305,328 @@ let slowlog_cmd =
           $(b,--slow-ms) threshold the server was started with, oldest first)")
     Term.(const slowlog $ connect_t $ slowlog_json_t)
 
+(* ---------------- top ---------------- *)
+
+module Ascii_plot = Segdb_util.Ascii_plot
+
+(* One parsed exposition scrape. Plain samples are keyed by metric name
+   with labels stripped; histogram buckets keep (base name, le,
+   cumulative count) rows so two scrapes can be diffed into a window.
+   Parsing the exposition text (rather than a bespoke frame) is what
+   lets --connect (the wire Stats frame) and --metrics-addr (HTTP
+   /metrics) share one data path. *)
+type scrape = {
+  values : (string * float) list;
+  buckets : (string * float * float) list;
+}
+
+let parse_le line from =
+  let tag = "le=\"" in
+  let tl = String.length tag in
+  let n = String.length line in
+  let rec find i =
+    if i + tl > n then None
+    else if String.sub line i tl = tag then
+      match String.index_from_opt line (i + tl) '"' with
+      | Some j -> (
+          match String.sub line (i + tl) (j - i - tl) with
+          | "+Inf" -> Some Float.infinity
+          | s -> float_of_string_opt s)
+      | None -> None
+    else find (i + 1)
+  in
+  find from
+
+let parse_exposition text =
+  let values = ref [] and buckets = ref [] in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        let name_end =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some i, Some j -> Some (min i j)
+          | Some i, None -> Some i
+          | None, j -> j
+        in
+        match (name_end, String.rindex_opt line ' ') with
+        | Some i, Some sp when sp > i -> (
+            let name = String.sub line 0 i in
+            match float_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1)) with
+            | None -> ()
+            | Some v ->
+                if Filename.check_suffix name "_bucket" then (
+                  let base = String.sub name 0 (String.length name - 7) in
+                  match parse_le line i with
+                  | Some le -> buckets := (base, le, v) :: !buckets
+                  | None -> ())
+                else values := (name, v) :: !values)
+        | _ -> ())
+    (String.split_on_char '\n' text);
+  { values = List.rev !values; buckets = List.rev !buckets }
+
+let get sc name = List.assoc_opt name sc.values
+
+(* counter delta between scrapes; a reset (restart) shows as 0, not a
+   negative rate *)
+let delta prev cur name =
+  match (get prev name, get cur name) with
+  | Some a, Some b when b >= a -> Some (b -. a)
+  | Some _, Some _ -> Some 0.0
+  | _, _ -> None
+
+let bucket_series sc name =
+  List.filter_map (fun (b, le, c) -> if b = name then Some (le, c) else None) sc.buckets
+
+(* cumulative count at [le]: the value of the largest emitted bound at
+   or below it (cumulative series are monotone in le) *)
+let cum_at series le =
+  List.fold_left (fun acc (l, c) -> if l <= le then Float.max acc c else acc) 0.0 series
+
+(* percentile of the traffic that landed between the two scrapes, by
+   diffing the cumulative bucket series and interpolating inside the
+   landing bucket *)
+let window_percentile prev cur name p =
+  let cs = bucket_series cur name in
+  if cs = [] then None
+  else begin
+    let ps = bucket_series prev name in
+    let adj = List.map (fun (le, c) -> (le, Float.max 0.0 (c -. cum_at ps le))) cs in
+    let total = List.fold_left (fun acc (_, c) -> Float.max acc c) 0.0 adj in
+    if total <= 0.0 then None
+    else begin
+      let rank = p *. total in
+      let rec walk lo lo_cum = function
+        | [] -> Some lo
+        | (le, c) :: rest ->
+            if c >= rank then
+              if Float.is_finite le then
+                let frac = if c > lo_cum then (rank -. lo_cum) /. (c -. lo_cum) else 1.0 in
+                Some (lo +. (frac *. (le -. lo)))
+              else Some lo
+            else walk le c rest
+      in
+      walk 0.0 0.0 adj
+    end
+  end
+
+let max_with_prefix sc prefix =
+  List.fold_left
+    (fun acc (n, v) ->
+      if String.length n >= String.length prefix && String.sub n 0 (String.length prefix) = prefix
+      then Some (Float.max (Option.value acc ~default:0.0) v)
+      else acc)
+    None sc.values
+
+let find_sub hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i = if i + ns > nh then None else if String.sub hay i ns = sub then Some i else go (i + 1) in
+  go 0
+
+(* minimal HTTP GET against the monitoring exporter *)
+let http_get sa path =
+  let dom = match sa with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+  let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect fd sa;
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let b = Bytes.of_string req in
+      let off = ref 0 in
+      while !off < Bytes.length b do
+        off := !off + Unix.write fd b !off (Bytes.length b - !off)
+      done;
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let body =
+        match find_sub raw "\r\n\r\n" with
+        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+        | None -> raw
+      in
+      match String.index_opt raw ' ' with
+      | Some i when String.length raw >= i + 4 && String.sub raw (i + 1) 3 = "200" -> body
+      | _ ->
+          failwith
+            (Printf.sprintf "GET %s: %s" path
+               (match String.index_opt raw '\r' with
+               | Some j -> String.sub raw 0 j
+               | None -> "no response")))
+
+let top_history_len = 60
+
+let push_history r v =
+  r := v :: !r;
+  let rec take k = function x :: tl when k > 0 -> x :: take (k - 1) tl | _ -> [] in
+  r := take top_history_len !r
+
+let spark r = Ascii_plot.sparkline ~width:30 (List.rev !r)
+
+let top connect metrics_addr interval_ms iterations no_clear =
+  let interval_s = Float.max 0.05 (float_of_int interval_ms /. 1e3) in
+  let source, fetch, cleanup =
+    match (connect, metrics_addr) with
+    | Some addrs, _ ->
+        let c = Client.connect_many addrs in
+        ( Server.addr_to_string (Client.endpoint c),
+          (fun () -> Client.stats c `Prometheus),
+          fun () -> Client.close c )
+    | None, Some ma ->
+        let sa = Server.sockaddr_of ma in
+        (Server.addr_to_string ma, (fun () -> http_get sa "/metrics"), fun () -> ())
+    | None, None ->
+        Printf.eprintf "top: pass --connect ADDR or --metrics-addr ADDR\n";
+        exit 2
+  in
+  let h_qps = ref [] and h_p99 = ref [] and h_hit = ref [] and h_lag = ref [] in
+  let render prev cur dt =
+    let fmt_opt f = function Some v -> f v | None -> "-" in
+    let f1 v = Printf.sprintf "%.1f" v in
+    let rate name = Option.map (fun d -> d /. dt) (delta prev cur name) in
+    let qps = rate "segdb_net_requests" in
+    Option.iter (push_history h_qps) qps;
+    let p50 = window_percentile prev cur "segdb_net_request_ns" 0.50 in
+    let p99 = window_percentile prev cur "segdb_net_request_ns" 0.99 in
+    Option.iter (fun v -> push_history h_p99 (v /. 1e3)) p99;
+    let hit =
+      match (delta prev cur "segdb_cache_hits", delta prev cur "segdb_cache_misses") with
+      | Some h, Some m when h +. m > 0.0 -> Some (100.0 *. h /. (h +. m))
+      | _ -> None
+    in
+    Option.iter (push_history h_hit) hit;
+    let lag = max_with_prefix cur "segdb_repl_lag_records_" in
+    Option.iter (push_history h_lag) lag;
+    let role =
+      match get cur "segdb_repl_is_primary" with
+      | Some 1.0 -> "primary"
+      | Some _ -> "replica"
+      | None -> "?"
+    in
+    if not no_clear then print_string "\x1b[2J\x1b[H";
+    Printf.printf "segdb top — %s — %s epoch %s lsn %s — window %.1fs\n" source role
+      (fmt_opt (fun v -> Printf.sprintf "%.0f" v) (get cur "segdb_repl_epoch"))
+      (fmt_opt (fun v -> Printf.sprintf "%.0f" v) (get cur "segdb_repl_last_lsn"))
+      dt;
+    let t = Table.create ~title:"serving" ~columns:[ "metric"; "now"; "trend" ] in
+    Table.add_row t [ "queries/s"; fmt_opt f1 qps; spark h_qps ];
+    Table.add_row t
+      [
+        "bytes in/s"; fmt_opt f1 (rate "segdb_net_bytes_in"); "";
+      ];
+    Table.add_row t
+      [ "wal appends/s"; fmt_opt f1 (rate "segdb_wal_appends"); "" ];
+    Table.add_row t [ "p50 us"; fmt_opt (fun v -> f1 (v /. 1e3)) p50; "" ];
+    Table.add_row t [ "p99 us"; fmt_opt (fun v -> f1 (v /. 1e3)) p99; spark h_p99 ];
+    Table.add_row t [ "cache hit %"; fmt_opt f1 hit; spark h_hit ];
+    Table.add_row t
+      [ "queue depth"; fmt_opt f1 (get cur "segdb_exec_queue_len"); "" ];
+    Table.add_row t
+      [
+        "pool busy";
+        Printf.sprintf "%s/%s"
+          (fmt_opt (fun v -> Printf.sprintf "%.0f" v) (get cur "segdb_exec_pool_busy"))
+          (fmt_opt (fun v -> Printf.sprintf "%.0f" v) (get cur "segdb_exec_pool_workers"));
+        "";
+      ];
+    Table.add_row t
+      [ "connections"; fmt_opt (fun v -> Printf.sprintf "%.0f" v) (get cur "segdb_net_connections"); "" ];
+    Table.add_row t [ "repl lag"; fmt_opt (fun v -> Printf.sprintf "%.0f" v) lag; spark h_lag ];
+    Table.add_row t
+      [
+        "repl idle s";
+        fmt_opt (fun v -> f1 (v /. 1e3)) (get cur "segdb_repl_ms_since_progress");
+        "";
+      ];
+    Table.add_row t
+      [
+        "heap Mwords";
+        fmt_opt (fun v -> Printf.sprintf "%.1f" (v /. 1e6)) (get cur "segdb_runtime_heap_words");
+        "";
+      ];
+    Table.add_row t
+      [ "minor gc/s"; fmt_opt f1 (rate "segdb_runtime_minor_collections"); "" ];
+    Table.print t;
+    flush stdout
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let scrape () =
+    let body = fetch () in
+    if find_sub body "observability disabled" <> None then
+      Printf.eprintf "warning: observability is off on the server; most panels will be empty\n";
+    (Unix.gettimeofday (), parse_exposition body)
+  in
+  let rec loop prev rendered =
+    if iterations > 0 && rendered >= iterations then 0
+    else begin
+      match scrape () with
+      | exception (Failure m | Client.Error m) ->
+          Printf.eprintf "top: scrape failed: %s\n" m;
+          1
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "top: scrape failed: %s\n" (Unix.error_message e);
+          1
+      | at, cur ->
+          let rendered =
+            match prev with
+            | Some (pat, p) ->
+                render p cur (at -. pat);
+                rendered + 1
+            | None -> rendered
+          in
+          if iterations > 0 && rendered >= iterations then 0
+          else begin
+            Unix.sleepf interval_s;
+            loop (Some (at, cur)) rendered
+          end
+    end
+  in
+  loop None 0
+
+let top_interval_ms_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh interval between scrapes.")
+
+let top_iterations_t =
+  Arg.(
+    value & opt int 0
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Render $(docv) frames then exit (0 = run until interrupted).")
+
+let top_no_clear_t =
+  Arg.(
+    value & flag
+    & info [ "no-clear" ]
+        ~doc:"Append frames instead of clearing the screen (for logs and tests).")
+
+let top_metrics_addr_t =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "metrics-addr" ] ~docv:"ADDR"
+        ~doc:"Scrape a server's HTTP $(b,/metrics) endpoint instead of the wire protocol.")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "live dashboard over a running server: scrapes its metrics (the wire \
+          $(i,stats) frame via $(b,--connect), or HTTP $(b,/metrics) via \
+          $(b,--metrics-addr)), computes per-interval rates and windowed percentiles \
+          client-side, and renders qps, latency, cache hit-rate, queue and pool \
+          occupancy, replication lag and GC pressure with sparkline trends")
+    Term.(
+      const top $ connect_t $ top_metrics_addr_t $ top_interval_ms_t $ top_iterations_t
+      $ top_no_clear_t)
+
 (* ---------------- main ---------------- *)
 
 let main_cmd =
@@ -1293,10 +1652,12 @@ let main_cmd =
       insert_cmd;
       delete_cmd;
       slowlog_cmd;
+      top_cmd;
     ]
 
 let () =
   Failpoint.arm_from_env ();
+  Obs.Control.configure_from_env ();
   Obs.Log.configure_from_env ();
   Obs.Slowlog.configure_from_env ();
   exit (Cmd.eval' main_cmd)

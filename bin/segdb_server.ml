@@ -21,14 +21,21 @@ module Obs = Segdb_obs
 module Failpoint = Segdb_io.Failpoint
 
 let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms
-    replica_of epoch idle_timeout_s =
-  if not no_obs then Obs.Control.enable ();
+    replica_of epoch idle_timeout_s metrics_addr sample_ms =
+  if (not no_obs) && not (Obs.Control.forced_off ()) then Obs.Control.enable ();
   Option.iter Obs.Slowlog.set_threshold_ms slow_ms;
   let db = Server.open_or_build ~backend ~block file in
   let srv =
     Server.create ~domains ~queue_depth ~deadline_ms ~idle_timeout_s ?epoch ?replica_of
       ~db addr
   in
+  let metrics_bound = Option.map (Server.serve_metrics srv) metrics_addr in
+  (match metrics_bound with
+  | Some ma ->
+      Obs.Sampler.start ~interval_ms:sample_ms ();
+      Printf.printf "metrics on %s (/metrics, /healthz, /varz; sampling every %dms)\n%!"
+        (Server.addr_to_string ma) sample_ms
+  | None -> ());
   let on_signal _ = Server.stop srv in
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
@@ -47,6 +54,7 @@ let serve file addr backend block domains queue_depth deadline_ms no_obs slow_ms
     (Exec.size (Server.pool srv))
     queue_depth deadline_ms;
   Server.run srv;
+  if metrics_bound <> None then Obs.Sampler.stop ();
   Printf.printf "drained: %d requests served\n"
     (Obs.Metrics.value (Obs.Metrics.counter Obs.Metrics.default "net.requests"));
   0
@@ -163,16 +171,38 @@ let idle_timeout_s_t =
           "Reap connections with no traffic and no in-flight requests for $(docv) \
            seconds (0 = never). Subscribed replicas are exempt.")
 
+let metrics_addr_t =
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "metrics-addr" ] ~docv:"ADDR"
+        ~doc:
+          "Also serve HTTP monitoring endpoints on $(docv): $(b,/metrics) (Prometheus \
+           exposition with rate and window gauges), $(b,/healthz) (role, epoch, LSN, \
+           replication lag; 200 healthy / 503 stalled) and $(b,/varz) (the sampler's \
+           time-series ring as JSON). Starts the background sampler.")
+
+let sample_ms_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "sample-ms" ] ~docv:"MS"
+        ~doc:
+          "Sampler interval: how often the background sampler snapshots the metrics \
+           registry to compute per-interval rates and windowed percentiles (only \
+           meaningful with $(b,--metrics-addr)).")
+
 let cmd =
   Cmd.v
     (Cmd.info "segdb_server"
        ~doc:"serve a segment database over the binary wire protocol")
     Term.(
       const serve $ file_t $ addr_t $ backend_t $ block_t $ domains_t $ queue_depth_t
-      $ deadline_ms_t $ no_obs_t $ slow_ms_t $ replica_of_t $ epoch_t $ idle_timeout_s_t)
+      $ deadline_ms_t $ no_obs_t $ slow_ms_t $ replica_of_t $ epoch_t $ idle_timeout_s_t
+      $ metrics_addr_t $ sample_ms_t)
 
 let () =
   Failpoint.arm_from_env ();
+  Obs.Control.configure_from_env ();
   Obs.Log.configure_from_env ();
   Obs.Slowlog.configure_from_env ();
   exit (Cmd.eval' cmd)

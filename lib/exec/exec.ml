@@ -75,8 +75,10 @@ type t = {
   mutable pending : int; (* admitted submits not yet picked up; gates admission *)
   stopping : bool Atomic.t;
   mutable workers : unit Domain.t array;
+  busy_ : int Atomic.t; (* workers currently inside a job — pool occupancy *)
   (* metric handles, resolved once; shared names across pools sum up *)
   g_depth : Obs.Metrics.gauge;
+  g_busy : Obs.Metrics.gauge;
   c_deadline : Obs.Metrics.counter;
   c_cancelled : Obs.Metrics.counter;
 }
@@ -94,7 +96,14 @@ let worker_loop t () =
     | Some job ->
         if Obs.Control.enabled () then Obs.Metrics.set_gauge t.g_depth (Queue.length t.jobs);
         Mutex.unlock t.m;
-        job ();
+        Atomic.incr t.busy_;
+        if Obs.Control.enabled () then
+          Obs.Metrics.set_gauge t.g_busy (Atomic.get t.busy_);
+        Fun.protect ~finally:(fun () ->
+            Atomic.decr t.busy_;
+            if Obs.Control.enabled () then
+              Obs.Metrics.set_gauge t.g_busy (Atomic.get t.busy_))
+          job;
         loop ()
   in
   loop ()
@@ -110,7 +119,9 @@ let create ?(queue_depth = 128) ~workers () =
       pending = 0;
       stopping = Atomic.make false;
       workers = [||];
+      busy_ = Atomic.make 0;
       g_depth = Obs.Metrics.gauge Obs.Metrics.default "exec.queue_depth";
+      g_busy = Obs.Metrics.gauge Obs.Metrics.default "exec.pool_busy";
       c_deadline = Obs.Metrics.counter Obs.Metrics.default "exec.deadline_exceeded";
       c_cancelled = Obs.Metrics.counter Obs.Metrics.default "exec.cancelled";
     }
@@ -120,6 +131,13 @@ let create ?(queue_depth = 128) ~workers () =
 
 let size t = t.size
 let queue_depth t = t.queue_depth
+let busy t = Atomic.get t.busy_
+
+let queued t =
+  Mutex.lock t.m;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.m;
+  n
 
 let shutdown t =
   if not (Atomic.exchange t.stopping true) then begin

@@ -125,6 +125,15 @@ val size : t -> int
 
 val queue_depth : t -> int
 
+val busy : t -> int
+(** Workers currently inside a job — the pool's instantaneous
+    occupancy. One atomic load; also published as the
+    ["exec.pool_busy"] gauge when observability is on. *)
+
+val queued : t -> int
+(** Jobs sitting in the queue, not yet picked up (takes the pool lock
+    briefly). *)
+
 val shutdown : t -> unit
 (** Stops the workers after the queue drains and joins them.
     Idempotent. Requests admitted before shutdown complete; new

@@ -33,10 +33,21 @@ let with_reader t f =
   slot := Some t;
   Fun.protect ~finally:(fun () -> slot := saved) f
 
+(* Global registry mirrors of the per-reader Lru counters: the Lru's
+   own hits/misses live inside each reader, so a scraper (which never
+   holds a reader) could not compute a fleet-wide hit rate from them.
+   Bumped by hand rather than via [Probe] — Probe sits above this
+   module (it reads [effective_stats]). *)
+let c_hits = Segdb_obs.Metrics.counter Segdb_obs.Metrics.default "cache.hits"
+let c_misses = Segdb_obs.Metrics.counter Segdb_obs.Metrics.default "cache.misses"
+
 let find t ~uid ~addr =
   match Lru.find t.cache addr with
-  | None -> None
+  | None ->
+      if Segdb_obs.Control.enabled () then Segdb_obs.Metrics.incr c_misses;
+      None
   | Some e ->
+      if Segdb_obs.Control.enabled () then Segdb_obs.Metrics.incr c_hits;
       if e.uid <> uid then
         invalid_arg
           "Read_context: address resolved to a block of a different store; a \

@@ -64,6 +64,10 @@ type t = {
   mutable len : int;
   mutable acks_ : (string * int) list;
   max_tail : int;
+  mutable progress_at : float;
+      (** wall clock of the last sign of replication life: a commit, an
+          ack, a resync, or (on a replica) any decoded upstream frame —
+          what health probes measure staleness against *)
 }
 
 let create ?role ?epoch ?(max_tail = 8192) () =
@@ -74,7 +78,8 @@ let create ?role ?epoch ?(max_tail = 8192) () =
     | None -> ( match role_ with Primary -> 1 | Replica -> 0)
   in
   { m = Mutex.create (); role_; epoch_; base = 0; buf = Array.make 64 "";
-    len = 0; acks_ = []; max_tail = max 16 max_tail }
+    len = 0; acks_ = []; max_tail = max 16 max_tail;
+    progress_at = Unix.gettimeofday () }
 
 let locked t f =
   Mutex.lock t.m;
@@ -85,8 +90,14 @@ let epoch t = locked t (fun () -> t.epoch_)
 let lsn t = locked t (fun () -> t.base + t.len)
 let base_lsn t = locked t (fun () -> t.base)
 
+let touch_progress t = locked t (fun () -> t.progress_at <- Unix.gettimeofday ())
+
+let seconds_since_progress t =
+  locked t (fun () -> Float.max 0. (Unix.gettimeofday () -. t.progress_at))
+
 let append t record =
   locked t @@ fun () ->
+  t.progress_at <- Unix.gettimeofday ();
   if t.len = Array.length t.buf then
     if t.len >= t.max_tail then begin
       (* drop the oldest half: a subscriber that far behind resyncs by
@@ -114,7 +125,8 @@ let reset_to t ~lsn =
   locked t @@ fun () ->
   Array.fill t.buf 0 t.len "";
   t.base <- lsn;
-  t.len <- 0
+  t.len <- 0;
+  t.progress_at <- Unix.gettimeofday ()
 
 let set_epoch t e = locked t (fun () -> if e > t.epoch_ then t.epoch_ <- e)
 
@@ -131,14 +143,27 @@ let promote t ?(epoch = 0) () =
 
 let ack t ~peer lsn =
   locked t @@ fun () ->
+  t.progress_at <- Unix.gettimeofday ();
   t.acks_ <- (peer, lsn) :: List.remove_assoc peer t.acks_
 
 let acks t = locked t (fun () -> List.rev t.acks_)
 
+(* [sent_lsn] starts equal to the ack: the stream does not know the
+   per-connection push cursors. The server, which owns them, overlays
+   the real values before answering a status frame. *)
 let status t =
   locked t @@ fun () ->
-  { Wire.role = role_name t.role_; epoch = t.epoch_; lsn = t.base + t.len;
-    peers = List.rev t.acks_ }
+  {
+    Wire.role = role_name t.role_;
+    epoch = t.epoch_;
+    lsn = t.base + t.len;
+    progress_ms =
+      int_of_float (Float.max 0. (Unix.gettimeofday () -. t.progress_at) *. 1e3);
+    peers =
+      List.rev_map
+        (fun (peer, acked) -> { Wire.peer; acked_lsn = acked; sent_lsn = acked })
+        t.acks_;
+  }
 
 let attach t db =
   Db.set_commit_hook db (Some (fun op -> append t (Db.encode_op op)))
@@ -221,7 +246,13 @@ let session ~gate ~db ~stream ~stop ~on_applied ~last_applied fd =
      deadline abandons the connection and resubscribes from our lsn. *)
   let progress_deadline_s = 2.0 in
   let last_progress = ref (Unix.gettimeofday ()) in
-  let progress () = last_progress := Unix.gettimeofday () in
+  let progress () =
+    last_progress := Unix.gettimeofday ();
+    (* surface liveness on the stream too: the health endpoint calls a
+       replica stalled when [seconds_since_progress] starves, and a
+       healthy idle link refreshes it through the status probes below *)
+    touch_progress stream
+  in
   while (not (Atomic.get stop)) && role stream = Replica && !continue do
     if Unix.gettimeofday () -. !last_progress > progress_deadline_s then begin
       Log.warn ~comp:"repl" "no upstream progress; reconnecting" (fun () ->

@@ -8,6 +8,7 @@ module Trace = Segdb_obs.Trace
 module Export = Segdb_obs.Export
 module Log = Segdb_obs.Log
 module Slowlog = Segdb_obs.Slowlog
+module Sampler = Segdb_obs.Sampler
 
 (* ---------------- addresses ---------------- *)
 
@@ -76,6 +77,7 @@ type t = {
   deadline_ms : int;  (** 0 disables *)
   cache_blocks : int option;
   idle_timeout_s : float;  (** 0 disables *)
+  health_stall_s : float;  (** replica staleness before /healthz turns 503 *)
   pool : Exec.t;
   repl : Replication.t;
   gate : Replication.Gate.t;
@@ -83,7 +85,10 @@ type t = {
   stopping : bool Atomic.t;
   killed : bool Atomic.t;  (** abrupt death requested — no graceful drain *)
   mutable conns : conn list;  (** owned by the accept-loop domain *)
+  live_conns : int Atomic.t;  (** |conns|, readable off the accept domain *)
   mutable next_conn : int;
+  mutable http : Http.t option;  (** the monitoring exporter, if enabled *)
+  mutable metrics_bound_ : addr option;
   mutable runner : unit Domain.t option;
   (* metric handles, resolved once *)
   m_requests : Metrics.counter;
@@ -108,7 +113,7 @@ let connector addr () =
   fd
 
 let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_blocks
-    ?(idle_timeout_s = 0.) ?epoch ?replica_of ~db addr =
+    ?(idle_timeout_s = 0.) ?(health_stall_s = 3.0) ?epoch ?replica_of ~db addr =
   let sa = sockaddr_of addr in
   (match addr with
   | Unix_path p when Sys.file_exists p && (Unix.stat p).Unix.st_kind = Unix.S_SOCK ->
@@ -146,6 +151,7 @@ let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_bloc
       deadline_ms = max 0 deadline_ms;
       cache_blocks;
       idle_timeout_s = Float.max 0. idle_timeout_s;
+      health_stall_s = Float.max 0.001 health_stall_s;
       pool = Exec.create ~queue_depth:(max 0 queue_depth) ~workers:(max 1 domains) ();
       repl;
       gate;
@@ -153,7 +159,10 @@ let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_bloc
       stopping = Atomic.make false;
       killed = Atomic.make false;
       conns = [];
+      live_conns = Atomic.make 0;
       next_conn = 0;
+      http = None;
+      metrics_bound_ = None;
       runner = None;
       m_requests = Metrics.counter reg "net.requests";
       m_bytes_in = Metrics.counter reg "net.bytes_in";
@@ -166,9 +175,31 @@ let create ?(domains = 2) ?(queue_depth = 128) ?(deadline_ms = 5000) ?cache_bloc
       t.tail <-
         Some
           (Replication.start_tail ~connect:(connector upstream) ~gate ~db ~stream:repl ()));
+  (* the sampler (and any scrape via [Sampler.refresh_gauges]) pulls
+     this node's serving/replication standing into the registry; every
+     value read here is atomic- or mutex-protected, so the source is
+     safe to run from the sampler's domain *)
+  Sampler.register_source
+    ("server@" ^ addr_to_string bound)
+    (fun () ->
+      let acks = Replication.acks t.repl in
+      let lsn = Replication.lsn t.repl in
+      [
+        ("net.connections", Atomic.get t.live_conns);
+        ("exec.pool_busy", Exec.busy t.pool);
+        ("exec.pool_workers", Exec.size t.pool);
+        ("exec.queue_len", Exec.queued t.pool);
+        ("repl.epoch", Replication.epoch t.repl);
+        ("repl.last_lsn", lsn);
+        ("repl.is_primary", if Replication.role t.repl = Replication.Primary then 1 else 0);
+        ( "repl.ms_since_progress",
+          int_of_float (Replication.seconds_since_progress t.repl *. 1e3) );
+      ]
+      @ List.map (fun (peer, acked) -> ("repl.lag_records." ^ peer, max 0 (lsn - acked))) acks);
   t
 
 let bound_addr t = t.bound
+let metrics_addr t = t.metrics_bound_
 let pool t = t.pool
 let replication t = t.repl
 let stop t = Atomic.set t.stopping true
@@ -198,12 +229,98 @@ let respond t conn resp =
 
 (* ---------------- request execution (via the engine) ---------------- *)
 
+let obs_off_note = "observability disabled (set SEGDB_OBS=1 or serve without --no-obs)"
+
 let stats_payload t fmt =
   let reg = Metrics.default in
+  (* pull gauge sources (runtime, serving, replication) to now, so a
+     scrape never reads values from the previous sampler tick *)
+  if Control.enabled () then Sampler.refresh_gauges ();
   match fmt with
-  | `Text -> Export.text reg
+  | `Text ->
+      if Control.enabled () then Export.text reg
+      else obs_off_note ^ "\n\n" ^ Export.text reg
   | `Json -> Export.json reg
-  | `Prometheus -> Export.prometheus ~labels:[ ("addr", addr_to_string t.bound) ] reg
+  | `Prometheus ->
+      let body = Export.prometheus ~labels:[ ("addr", addr_to_string t.bound) ] reg in
+      if Control.enabled () then body else "# " ^ obs_off_note ^ "\n" ^ body
+
+(* The stream only knows acknowledged LSNs; the per-connection push
+   cursors live on this domain's [conn] records. Runs on the accept
+   loop (both wire dispatch and the HTTP handler do), so reading
+   [t.conns] needs no lock. *)
+let repl_status_enriched t =
+  let st = Replication.status t.repl in
+  let sent_of peer =
+    List.find_map
+      (fun c ->
+        match c.sub with
+        | Some s when c.peer = peer && not (Atomic.get c.closing) -> Some s.sent_lsn
+        | _ -> None)
+      t.conns
+  in
+  {
+    st with
+    Wire.peers =
+      List.map
+        (fun (p : Wire.repl_peer) ->
+          match sent_of p.Wire.peer with
+          | Some sent -> { p with Wire.sent_lsn = sent }
+          | None -> p)
+        st.Wire.peers;
+  }
+
+(* ---------------- the monitoring endpoints ---------------- *)
+
+let healthz t =
+  let st = repl_status_enriched t in
+  let progress_s = Replication.seconds_since_progress t.repl in
+  let stopping = Atomic.get t.stopping in
+  let stalled = st.Wire.role = "replica" && progress_s > t.health_stall_s in
+  let state = if stopping then "stopping" else if stalled then "stalled" else "ok" in
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "{\"status\":%S,\"role\":%S,\"epoch\":%d,\"lsn\":%d,\"seconds_since_progress\":%.3f,\"queue_depth\":%d,\"pool_busy\":%d,\"pool_workers\":%d,\"connections\":%d,\"lag\":{"
+    state st.Wire.role st.Wire.epoch st.Wire.lsn progress_s (Exec.queued t.pool)
+    (Exec.busy t.pool) (Exec.size t.pool)
+    (Atomic.get t.live_conns);
+  List.iteri
+    (fun i { Wire.peer; acked_lsn; _ } ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "%S:%d" peer (max 0 (st.Wire.lsn - acked_lsn)))
+    st.Wire.peers;
+  Buffer.add_string b "}}\n";
+  let status = if stopping || stalled then 503 else 200 in
+  { Http.status; content_type = "application/json"; body = Buffer.contents b }
+
+let http_handler t path =
+  match path with
+  | "/metrics" ->
+      { Http.status = 200; content_type = "text/plain; version=0.0.4";
+        body = stats_payload t `Prometheus }
+  | "/healthz" -> healthz t
+  | "/varz" ->
+      { Http.status = 200; content_type = "application/json"; body = Sampler.varz_json () }
+  | _ ->
+      { Http.status = 404; content_type = "application/json";
+        body = Printf.sprintf "{\"error\":\"no such endpoint %s\"}\n" path }
+
+let serve_metrics t addr =
+  (match addr with
+  | Unix_path p when Sys.file_exists p && (Unix.stat p).Unix.st_kind = Unix.S_SOCK ->
+      Unix.unlink p
+  | _ -> ());
+  let h = Http.create ~handler:(http_handler t) (sockaddr_of addr) in
+  let bound =
+    match (addr, Http.bound h) with
+    | Tcp (host, _), Unix.ADDR_INET (_, p) -> Tcp (host, p)
+    | a, _ -> a
+  in
+  t.http <- Some h;
+  t.metrics_bound_ <- Some bound;
+  Log.info ~comp:"server" "metrics endpoint up" (fun () ->
+      [ Log.s "addr" (addr_to_string bound) ]);
+  bound
 
 (* An [Exec] outcome, folded back into the wire vocabulary of the
    request that produced it. *)
@@ -449,7 +566,7 @@ let dispatch t conn req =
   | Wire.Delete s -> handle_write t conn (Db.Op_delete s)
   | Wire.Repl_subscribe { epoch; from_lsn } -> handle_subscribe t conn ~epoch ~from_lsn
   | Wire.Repl_ack { epoch; lsn } -> handle_ack t conn ~epoch ~lsn
-  | Wire.Repl_status -> respond t conn (Wire.Repl_status_payload (Replication.status t.repl))
+  | Wire.Repl_status -> respond t conn (Wire.Repl_status_payload (repl_status_enriched t))
   | Wire.Promote { epoch } -> handle_promote t conn ~epoch
   | Wire.Query _ | Wire.Count _ | Wire.Batch _ | Wire.Batch_ex _ ->
       if Atomic.get t.stopping then respond t conn (Wire.Error (Wire.Shutting_down, "draining"))
@@ -529,6 +646,7 @@ let accept_conn t =
         | p -> p
       in
       Log.info ~comp:"server" "connection accepted" (fun () -> [ Log.s "peer" peer ]);
+      Atomic.incr t.live_conns;
       t.conns <-
         {
           fd;
@@ -567,7 +685,11 @@ let reap t =
   let dead, live =
     List.partition (fun c -> Atomic.get c.closing && Atomic.get c.pending = 0) t.conns
   in
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()) dead;
+  List.iter
+    (fun c ->
+      Atomic.decr t.live_conns;
+      try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ())
+    dead;
   t.conns <- live
 
 let run t =
@@ -577,6 +699,7 @@ let run t =
   (* serve *)
   while not (Atomic.get t.stopping) do
     let rfds = t.lfd :: List.map (fun c -> c.fd) t.conns in
+    let rfds = match t.http with Some h -> rfds @ Http.fds h | None -> rfds in
     (match Unix.select rfds [] [] 0.05 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | ready, _, _ ->
@@ -584,17 +707,31 @@ let run t =
           (fun fd ->
             if fd = t.lfd then accept_conn t
             else
-              match List.find_opt (fun c -> c.fd = fd) t.conns with
-              | Some c when not (Atomic.get c.closing) -> read_chunk t c
-              | _ -> ())
+              match t.http with
+              | Some h when Http.owns h fd -> Http.handle h fd
+              | _ -> (
+                  match List.find_opt (fun c -> c.fd = fd) t.conns with
+                  | Some c when not (Atomic.get c.closing) -> read_chunk t c
+                  | _ -> ()))
           ready);
     reap t;
+    (match t.http with Some h -> Http.reap h | None -> ());
     (* pushes records landed by in-process writers (wire writes flush
        inline); bounds steady-state replication lag at one tick *)
     flush_subscribers t
   done;
   (match t.tail with Some tl -> Replication.stop_tail tl | None -> ());
   (try Unix.close t.lfd with Unix.Unix_error (_, _, _) -> ());
+  Sampler.unregister_source ("server@" ^ addr_to_string t.bound);
+  (match t.http with
+  | Some h ->
+      Http.close h;
+      t.http <- None;
+      (match t.metrics_bound_ with
+      | Some (Unix_path p) -> (
+          try Unix.unlink p with Unix.Unix_error (_, _, _) | Sys_error _ -> ())
+      | _ -> ())
+  | None -> ());
   let drained () = List.for_all (fun c -> Atomic.get c.pending = 0) t.conns in
   if Atomic.get t.killed then begin
     (* abrupt death (chaos soak): sever every connection mid-exchange —

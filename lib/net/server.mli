@@ -43,6 +43,10 @@ val addr_of_string : string -> (addr, string) result
 val addr_to_string : addr -> string
 val pp_addr : Format.formatter -> addr -> unit
 
+val sockaddr_of : addr -> Unix.sockaddr
+(** Resolve to a connectable/bindable [Unix.sockaddr] (host names via
+    [getaddrinfo]; raises [Unix.Unix_error] on resolution failure). *)
+
 type t
 
 val create :
@@ -51,6 +55,7 @@ val create :
   ?deadline_ms:int ->
   ?cache_blocks:int ->
   ?idle_timeout_s:float ->
+  ?health_stall_s:float ->
   ?epoch:int ->
   ?replica_of:addr ->
   db:Db.t ->
@@ -78,11 +83,31 @@ val create :
     A replica answers queries normally but refuses writes and
     subscriptions with [Not_primary] until a [Promote] frame turns it
     into a primary at a fenced epoch. [epoch] seeds the fencing epoch
-    (default 1 for a primary, 0 for a replica). *)
+    (default 1 for a primary, 0 for a replica).
+
+    [health_stall_s] (default 3) is the replica staleness threshold
+    behind [/healthz]: a replica whose stream has shown no sign of life
+    (no applied records, and no status probe answered by the upstream)
+    for longer than this answers 503. *)
 
 val bound_addr : t -> addr
 (** The actual listening address — the kernel-chosen port when the TCP
     address was given port 0. *)
+
+val serve_metrics : t -> addr -> addr
+(** Bind the monitoring exporter ({!Http}) on [addr] and serve it from
+    the accept loop: [GET /metrics] (Prometheus exposition, gauges
+    refreshed at scrape time), [GET /healthz] (role / epoch / LSN /
+    progress / queue and pool occupancy / per-peer lag as JSON; 200
+    healthy, 503 stopping or stalled replica), [GET /varz] (the
+    sampler's ring as JSON). Returns the bound address (kernel-chosen
+    port for TCP port 0). Call before {!run}/{!start}; raises
+    [Unix.Unix_error] if the address cannot be bound. The endpoints
+    answer even with observability off ([/metrics] then leads with a
+    "disabled" comment) — health must not depend on metrics being on. *)
+
+val metrics_addr : t -> addr option
+(** The exporter's bound address, when {!serve_metrics} was called. *)
 
 val pool : t -> Exec.t
 (** The server's execution pool (for size / introspection). *)

@@ -32,11 +32,14 @@ type error_code =
   | Not_primary
   | Fenced
 
+type repl_peer = { peer : string; acked_lsn : int; sent_lsn : int }
+
 type repl_status = {
   role : string;
   epoch : int;
   lsn : int;
-  peers : (string * int) list;
+  progress_ms : int;
+  peers : repl_peer list;
 }
 
 type response =
@@ -153,22 +156,36 @@ let events_codec = Codec.list event_codec
 
 (* Replication payloads: records are opaque WAL record bytes (the
    [Segdb.op] encoding), snapshots carry the full segment set, peers
-   pair a peer string with its acknowledged LSN. *)
+   carry a peer string with its acknowledged and last-sent LSNs. *)
 let records_codec = Codec.(list string)
-let peers_codec = Codec.(list (pair string int))
+
+let write_repl_peer b { peer; acked_lsn; sent_lsn } =
+  Codec.W.str b peer;
+  Codec.W.u64 b acked_lsn;
+  Codec.W.u64 b sent_lsn
+
+let read_repl_peer r =
+  let peer = Codec.R.str r in
+  let acked_lsn = Codec.R.u64 r in
+  let sent_lsn = Codec.R.u64 r in
+  { peer; acked_lsn; sent_lsn }
+
+let peers_codec = Codec.list { Codec.write = write_repl_peer; read = read_repl_peer }
 
 let write_repl_status b (st : repl_status) =
   Codec.W.str b st.role;
   Codec.W.u64 b st.epoch;
   Codec.W.u64 b st.lsn;
+  Codec.W.u64 b st.progress_ms;
   peers_codec.Codec.write b st.peers
 
 let read_repl_status r =
   let role = Codec.R.str r in
   let epoch = Codec.R.u64 r in
   let lsn = Codec.R.u64 r in
+  let progress_ms = Codec.R.u64 r in
   let peers = peers_codec.Codec.read r in
-  { role; epoch; lsn; peers }
+  { role; epoch; lsn; progress_ms; peers }
 
 let code_to_tag = function
   | Overloaded -> 1

@@ -101,13 +101,31 @@ type error_code =
           the answering node's): a revived stale primary is refused,
           not obeyed — definitive, never retried *)
 
-(** One node's replication standing, as answered to {!Repl_status}. *)
+(** One subscribed replica as the primary sees it: how far it has
+    acknowledged, and how far the primary has pushed to it. The gap
+    [sent_lsn - acked_lsn] is the in-flight window; [lsn - acked_lsn]
+    (against the enclosing status) is its replication lag. *)
+type repl_peer = { peer : string; acked_lsn : int; sent_lsn : int }
+
+(** One node's replication standing, as answered to {!Repl_status}.
+
+    The [Repl_status_payload] body changed shape in the monitoring
+    release (it gained [progress_ms] and per-peer sent cursors) with no
+    version negotiation: primaries, replicas, clients and the CLI are
+    built from one tree and deployed together. A mixed-version pair
+    decodes the old body as [Error (Bad_request, _)] / [Malformed] and
+    keeps the stream up — status introspection degrades, replication
+    itself does not touch this frame. *)
 type repl_status = {
   role : string;  (** ["primary"] or ["replica"] *)
   epoch : int;
   lsn : int;  (** committed (primary) / applied (replica) LSN *)
-  peers : (string * int) list;
-      (** on a primary: each subscribed replica's acknowledged LSN *)
+  progress_ms : int;
+      (** milliseconds since the last sign of replication life (commit,
+          ack, resync, or — on a replica — any upstream frame); the
+          staleness signal behind [/healthz]'s replica-stall rule *)
+  peers : repl_peer list;
+      (** on a primary: every subscribed replica's cursors *)
 }
 
 type response =

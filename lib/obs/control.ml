@@ -16,3 +16,18 @@ let with_enabled f =
   let saved = Atomic.get on in
   Atomic.set on true;
   Fun.protect ~finally:(fun () -> Atomic.set on saved) f
+
+(* SEGDB_OBS=0 is an operator veto: entry points that enable
+   observability by default (serving, local stats) check [forced_off]
+   first, so the environment wins over the built-in default. *)
+let forced_off_ = Atomic.make false
+
+let forced_off () = Atomic.get forced_off_
+
+let configure_from_env () =
+  match Sys.getenv_opt "SEGDB_OBS" with
+  | Some ("0" | "false" | "off") ->
+      Atomic.set forced_off_ true;
+      disable ()
+  | Some ("1" | "true" | "on") -> enable ()
+  | Some _ | None -> ()

@@ -15,3 +15,13 @@ val disable : unit -> unit
 val with_enabled : (unit -> 'a) -> 'a
 (** Runs [f] with observability on, restoring the previous state after
     (also on exceptions). *)
+
+val configure_from_env : unit -> unit
+(** Honour [SEGDB_OBS]: ["1"]/["true"]/["on"] enables, ["0"]/["false"]/
+    ["off"] disables {e and} marks the subsystem force-disabled (see
+    {!forced_off}); unset or unrecognized leaves the default. *)
+
+val forced_off : unit -> bool
+(** [true] after [SEGDB_OBS=0]: entry points that would enable
+    observability by default (serving, local stats) must respect the
+    operator's veto and stay off. *)

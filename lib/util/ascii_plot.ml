@@ -80,3 +80,36 @@ let render ?(width = 64) ?(height = 16) ?(log_x = false) ~title ~x_label ~y_labe
 
 let print ?width ?height ?log_x ~title ~x_label ~y_label series =
   print_string (render ?width ?height ?log_x ~title ~x_label ~y_label series)
+
+(* Eight vertical bar glyphs, UTF-8 encoded by hand so the module stays
+   free of string-literal encoding surprises. *)
+let spark_levels =
+  [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 40) values =
+  let values = List.filter Float.is_finite values in
+  let n = List.length values in
+  if n = 0 then String.make (max 1 width) ' '
+  else begin
+    let width = max 1 width in
+    (* keep the newest [width] points: a sparkline is a recency strip *)
+    let values =
+      if n <= width then values else List.filteri (fun i _ -> i >= n - width) values
+    in
+    let lo = List.fold_left Float.min Float.infinity values in
+    let hi = List.fold_left Float.max Float.neg_infinity values in
+    let span = hi -. lo in
+    let buf = Buffer.create (width * 3) in
+    List.iter
+      (fun v ->
+        let lvl =
+          if span <= 0. then 3
+          else
+            let f = (v -. lo) /. span in
+            min 7 (max 0 (int_of_float (f *. 7.99)))
+        in
+        Buffer.add_string buf spark_levels.(lvl))
+      values;
+    Buffer.contents buf
+  end

@@ -28,3 +28,9 @@ val print :
   y_label:string ->
   series list ->
   unit
+
+val sparkline : ?width:int -> float list -> string
+(** One-line bar-glyph strip of the series, oldest to newest, scaled to
+    its own min/max (a flat series renders mid-height). Keeps the
+    newest [width] (default 40) points; non-finite values are dropped;
+    an empty series renders as blanks. *)

@@ -161,12 +161,16 @@ let gen_response =
           (int_bound 1_000) (int_bound 1_000_000)
           (list_size (int_bound 6) gen_segment);
         map
-          (fun ((role, epoch), (lsn, peers)) ->
-            Wire.Repl_status_payload { Wire.role; epoch; lsn; peers })
-          (tup2
+          (fun ((role, epoch), (lsn, progress_ms), peers) ->
+            Wire.Repl_status_payload { Wire.role; epoch; lsn; progress_ms; peers })
+          (tup3
              (tup2 (oneofl [ "primary"; "replica" ]) (int_bound 1_000))
-             (tup2 (int_bound 1_000_000)
-                (list_size (int_bound 4) (tup2 gen_text (int_bound 1_000_000)))));
+             (tup2 (int_bound 1_000_000) (int_bound 60_000))
+             (list_size (int_bound 4)
+                (map
+                   (fun ((peer, acked_lsn), sent_lsn) ->
+                     { Wire.peer; acked_lsn; sent_lsn })
+                   (tup2 (tup2 gen_text (int_bound 1_000_000)) (int_bound 1_000_000)))));
         map (fun epoch -> Wire.Promoted { epoch }) (int_bound 1_000);
       ])
 
@@ -564,6 +568,114 @@ let test_cli_batch_stdin () =
           in
           Alcotest.(check int) "two answered queries" 2 (List.length hits))
 
+(* ---------------- HTTP monitoring endpoints ---------------- *)
+
+let http_request addr raw =
+  let sa = Server.sockaddr_of addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sa;
+      let n = String.length raw in
+      let rec push off =
+        if off < n then push (off + Unix.write_substring fd raw off (n - off))
+      in
+      push 0;
+      let buf = Buffer.create 512 and chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let http_get addr path = http_request addr (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path)
+
+let http_status resp =
+  match String.split_on_char ' ' resp with
+  | _ :: code :: _ -> ( try int_of_string code with Failure _ -> -1)
+  | _ -> -1
+
+let with_metrics_server ?health_stall_s ?replica_of db f =
+  let srv =
+    Server.create ?health_stall_s ?replica_of ~domains:1 ~db (Server.Tcp ("127.0.0.1", 0))
+  in
+  let maddr = Server.serve_metrics srv (Server.Tcp ("127.0.0.1", 0)) in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv)
+    (fun () -> f (Server.bound_addr srv) maddr)
+
+let test_http_metrics_scrape () =
+  with_obs @@ fun () ->
+  let db = build_db ~n:100 () in
+  with_metrics_server db (fun addr maddr ->
+      (* move the counters so the exposition has bodies, not just types *)
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () -> ignore (Client.query c (Vquery.line ~x:50.0)));
+      let resp = http_get maddr "/metrics" in
+      Alcotest.(check int) "scrape answers 200" 200 (http_status resp);
+      Alcotest.(check bool) "prometheus exposition" true (contains resp "# TYPE segdb_");
+      Alcotest.(check bool) "request counter exported" true
+        (contains resp "segdb_net_requests");
+      (* scrape-time refresh publishes replication and pool gauges even
+         though the background sampler is not running *)
+      Alcotest.(check bool) "replication gauges" true (contains resp "segdb_repl_epoch");
+      Alcotest.(check bool) "pool gauges" true (contains resp "segdb_exec_pool_workers");
+      let hz = http_get maddr "/healthz" in
+      Alcotest.(check int) "healthz 200" 200 (http_status hz);
+      Alcotest.(check bool) "primary role" true (contains hz "\"role\":\"primary\"");
+      Alcotest.(check bool) "epoch reported" true (contains hz "\"epoch\"");
+      Alcotest.(check int) "unknown path is 404" 404 (http_status (http_get maddr "/nope")))
+
+let test_http_healthz_stall () =
+  let db = build_db ~n:50 () in
+  (* a replica whose upstream is already dead never sees stream
+     progress, so past the stall budget /healthz flips to 503 *)
+  let dead = Server.Tcp ("127.0.0.1", 1) in
+  with_metrics_server ~health_stall_s:0.05 ~replica_of:dead db (fun _addr maddr ->
+      Unix.sleepf 0.3;
+      let hz = http_get maddr "/healthz" in
+      Alcotest.(check int) "stalled replica answers 503" 503 (http_status hz);
+      Alcotest.(check bool) "names the stall" true (contains hz "\"status\":\"stalled\"");
+      Alcotest.(check bool) "replica role" true (contains hz "\"role\":\"replica\""))
+
+let test_http_malformed_request () =
+  let db = build_db ~n:50 () in
+  with_metrics_server db (fun _addr maddr ->
+      let bad = http_request maddr "BOGUS\r\n\r\n" in
+      Alcotest.(check int) "garbage request answers 400" 400 (http_status bad);
+      let post = http_request maddr "POST /metrics HTTP/1.0\r\n\r\n" in
+      Alcotest.(check int) "non-GET answers 405" 405 (http_status post);
+      (* neither killed the accept loop *)
+      Alcotest.(check int) "still serving afterwards" 200
+        (http_status (http_get maddr "/healthz")))
+
+let test_stats_obs_off_note () =
+  let was = Obs.Control.enabled () in
+  Obs.Control.disable ();
+  Fun.protect
+    ~finally:(fun () -> if was then Obs.Control.enable ())
+    (fun () ->
+      let db = build_db ~n:50 () in
+      with_server ~domains:1 db (fun addr ->
+          let c = Client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let txt = Client.stats c `Text in
+              Alcotest.(check bool) "wire stats carry the disabled note" true
+                (contains txt "observability disabled"))))
+
 let suite =
   ( "net",
     [
@@ -587,4 +699,9 @@ let suite =
         test_overload_backpressure;
       Alcotest.test_case "queued past the deadline" `Quick test_deadline;
       Alcotest.test_case "cli batch reads queries from stdin" `Quick test_cli_batch_stdin;
+      Alcotest.test_case "http: /metrics scrape + /healthz" `Quick test_http_metrics_scrape;
+      Alcotest.test_case "http: stalled replica healthz 503" `Quick test_http_healthz_stall;
+      Alcotest.test_case "http: malformed request answers 400" `Quick
+        test_http_malformed_request;
+      Alcotest.test_case "stats with obs off carries a note" `Quick test_stats_obs_off_note;
     ] )

@@ -205,7 +205,7 @@ let test_pair_ships_and_converges () =
   let pst = status_of paddr in
   Alcotest.(check string) "primary role" "primary" pst.Wire.role;
   Alcotest.(check bool) "a replica acked" true
-    (List.exists (fun (_, acked) -> acked >= !lsn) pst.Wire.peers);
+    (List.exists (fun p -> p.Wire.acked_lsn >= !lsn) pst.Wire.peers);
   (* replica answers the same queries as the primary *)
   Alcotest.(check int) "identical content" (Db.size pdb) (Db.size rdb);
   let rc = Client.connect ~timeout_ms:10_000 raddr in
